@@ -1,0 +1,109 @@
+// Command herdbench regenerates the paper's tables and figures on the
+// simulated clusters.
+//
+// Usage:
+//
+//	herdbench [-cluster apt|susitna] [-warmup us] [-span us] [targets...]
+//
+// Targets are table1, table2, fig2..fig7, fig9..fig14, or "all"
+// (default). Figure 9 always covers both clusters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/experiments"
+	"herdkv/internal/sim"
+)
+
+func main() {
+	clusterName := flag.String("cluster", "apt", "cluster preset: apt or susitna")
+	warmupUS := flag.Int("warmup", 150, "warmup window (simulated microseconds)")
+	spanUS := flag.Int("span", 400, "measurement window (simulated microseconds)")
+	format := flag.String("format", "text", "output format: text or csv")
+	list := flag.Bool("list", false, "list available targets and exit")
+	flag.Parse()
+
+	experiments.Warmup = sim.Time(*warmupUS) * sim.Microsecond
+	experiments.Span = sim.Time(*spanUS) * sim.Microsecond
+
+	var spec cluster.Spec
+	switch strings.ToLower(*clusterName) {
+	case "apt":
+		spec = cluster.Apt()
+	case "susitna":
+		spec = cluster.Susitna()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown cluster %q (want apt or susitna)\n", *clusterName)
+		os.Exit(2)
+	}
+
+	targets := map[string]func() *experiments.Table{
+		"table1": experiments.Table1Verbs,
+		"table2": experiments.Table2Clusters,
+		"fig1":   experiments.Fig1Steps,
+		"fig2":   func() *experiments.Table { return experiments.Fig2Latency(spec) },
+		"fig3":   func() *experiments.Table { return experiments.Fig3Inbound(spec) },
+		"fig4":   func() *experiments.Table { return experiments.Fig4Outbound(spec) },
+		"fig5":   func() *experiments.Table { return experiments.Fig5Echo(spec) },
+		"fig6":   func() *experiments.Table { return experiments.Fig6AllToAll(spec) },
+		"fig7":   func() *experiments.Table { return experiments.Fig7Prefetch(spec) },
+		"fig8":   experiments.Fig8Layout,
+		"fig9":   experiments.Fig9Throughput,
+		"fig10":  func() *experiments.Table { return experiments.Fig10ValueSize(spec) },
+		"fig11":  func() *experiments.Table { return experiments.Fig11LatencyThroughput(spec) },
+		"fig12":  func() *experiments.Table { return experiments.Fig12ClientScaling(spec) },
+		"fig13":  func() *experiments.Table { return experiments.Fig13CPUCores(spec) },
+		"fig14":  func() *experiments.Table { return experiments.Fig14Skew(spec) },
+
+		// Ablations beyond the paper's figures.
+		"ablation-arch":     func() *experiments.Table { return experiments.AblationArchitecture(spec) },
+		"ablation-inline":   func() *experiments.Table { return experiments.AblationInlineCutoff(spec) },
+		"ablation-window":   func() *experiments.Table { return experiments.AblationWindow(spec) },
+		"ablation-prefetch": func() *experiments.Table { return experiments.AblationPrefetch(spec) },
+		"ablation-doorbell": func() *experiments.Table { return experiments.AblationDoorbell(spec) },
+		"anatomy":           func() *experiments.Table { return experiments.LatencyAnatomy(spec) },
+		"cpuuse":            func() *experiments.Table { return experiments.CPUUse(spec) },
+		"symmetric":         func() *experiments.Table { return experiments.SymmetricStudy(spec) },
+		"classical":         func() *experiments.Table { return experiments.Classical(spec) },
+	}
+	order := []string{
+		"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"ablation-arch", "ablation-inline", "ablation-window", "ablation-prefetch",
+		"ablation-doorbell",
+		"anatomy", "cpuuse", "symmetric", "classical",
+	}
+
+	if *list {
+		for _, name := range order {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	want := flag.Args()
+	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
+		want = order
+	}
+	for _, name := range want {
+		fn, ok := targets[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown target %q; -list shows options\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tbl := fn()
+		if *format == "csv" {
+			tbl.FprintCSV(os.Stdout)
+			continue
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("  [%s generated in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,84 @@
+// Command herdload is a configurable load generator for the simulated
+// key-value systems: pick a system, cluster, workload and fleet size,
+// and it reports throughput, latency percentiles and hit rate from a
+// steady-state measurement window.
+//
+//	herdload -system herd -clients 51 -get 0.95 -value 32 -duration 400
+//	herdload -system pilaf -cluster susitna -zipf
+//	herdload -system herd -sendmode -clients 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"herdkv"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "herd", "herd, pilaf, farm or farm-var")
+		clusterF = flag.String("cluster", "apt", "apt or susitna")
+		clients  = flag.Int("clients", 51, "client processes (3 per machine)")
+		getFrac  = flag.Float64("get", 0.95, "GET fraction of the workload")
+		value    = flag.Int("value", 32, "value size in bytes")
+		keys     = flag.Uint64("keys", 48*1024, "keyspace size (preloaded)")
+		zipf     = flag.Bool("zipf", false, "Zipf(.99) key popularity instead of uniform")
+		window   = flag.Int("window", 4, "outstanding requests per client")
+		cores    = flag.Int("cores", 6, "server processes / cores")
+		sendMode = flag.Bool("sendmode", false, "HERD only: SEND/SEND architecture")
+		duration = flag.Int("duration", 400, "measurement window (simulated microseconds)")
+		warmup   = flag.Int("warmup", 150, "warmup (simulated microseconds)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	var spec herdkv.Spec
+	switch strings.ToLower(*clusterF) {
+	case "apt":
+		spec = herdkv.Apt()
+	case "susitna":
+		spec = herdkv.Susitna()
+	default:
+		fail("unknown cluster %q", *clusterF)
+	}
+
+	r, err := run(options{
+		system: strings.ToLower(*system), spec: spec,
+		clients: *clients, getFrac: *getFrac, value: *value,
+		keys: *keys, zipf: *zipf, window: *window, cores: *cores,
+		sendMode: *sendMode,
+		warmup:   herdkv.Time(*warmup) * herdkv.Microsecond,
+		span:     herdkv.Time(*duration) * herdkv.Microsecond,
+		seed:     *seed,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("system      %s on %s\n", *system, spec.Name)
+	fmt.Printf("fleet       %d clients, window %d, %d server cores\n", *clients, *window, *cores)
+	dist := "uniform"
+	if *zipf {
+		dist = "Zipf(.99)"
+	}
+	fmt.Printf("workload    %.0f%% GET, %d B values, %d keys, %s\n",
+		*getFrac*100, *value, *keys, dist)
+	fmt.Printf("throughput  %.2f Mops\n", r.mops)
+	fmt.Printf("latency     mean %.2f us, p5 %.2f, p50 %.2f, p95 %.2f, p99 %.2f\n",
+		r.mean, r.p5, r.p50, r.p95, r.p99)
+	if r.gets > 0 {
+		fmt.Printf("hit rate    %.2f%% over %d GETs\n", r.hitRate*100, r.gets)
+	}
+	if r.verifyErr > 0 {
+		fmt.Printf("VERIFY FAIL %d mismatched GET values\n", r.verifyErr)
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"herdkv"
+)
+
+type options struct {
+	system   string
+	spec     herdkv.Spec
+	clients  int
+	getFrac  float64
+	value    int
+	keys     uint64
+	zipf     bool
+	window   int
+	cores    int
+	sendMode bool
+	warmup   herdkv.Time
+	span     herdkv.Time
+	seed     int64
+}
+
+type report struct {
+	mops                    float64
+	mean, p5, p50, p95, p99 float64
+	hitRate                 float64
+	gets                    uint64
+	verifyErr               uint64
+}
+
+// doer abstracts the per-system client operations.
+type doer struct {
+	get func(key herdkv.Key, done func(ok bool, value []byte, lat herdkv.Time)) error
+	put func(key herdkv.Key, value []byte, done func(ok bool, lat herdkv.Time)) error
+}
+
+func run(o options) (report, error) {
+	machines := 1 + (o.clients+2)/3
+	cl := herdkv.NewCluster(o.spec, machines, o.seed)
+	clientMachine := func(i int) *herdkv.Machine { return cl.Machine(1 + i/3) }
+
+	preloadVal := func(k herdkv.Key) []byte { return herdkv.ExpectedValue(k, o.value) }
+	doers := make([]doer, o.clients)
+
+	switch o.system {
+	case "herd":
+		cfg := herdkv.DefaultConfig()
+		cfg.NS = o.cores
+		cfg.MaxClients = o.clients
+		cfg.Window = o.window
+		cfg.UseSendRequests = o.sendMode
+		cfg.Mica = herdkv.MicaConfig{
+			IndexBuckets: int(o.keys) / 4, BucketSlots: 8,
+			LogBytes: int(o.keys) * (18 + o.value) * 2 / o.cores,
+		}
+		srv, err := herdkv.NewServer(cl.Machine(0), cfg)
+		if err != nil {
+			return report{}, err
+		}
+		for k := uint64(0); k < o.keys; k++ {
+			key := herdkv.KeyFromUint64(k)
+			if err := srv.Preload(key, preloadVal(key)); err != nil {
+				return report{}, err
+			}
+		}
+		for i := range doers {
+			c, err := srv.ConnectClient(clientMachine(i))
+			if err != nil {
+				return report{}, err
+			}
+			doers[i] = doer{
+				get: func(k herdkv.Key, done func(bool, []byte, herdkv.Time)) error {
+					return c.Get(k, func(r herdkv.Result) { done(r.OK, r.Value, r.Latency) })
+				},
+				put: func(k herdkv.Key, v []byte, done func(bool, herdkv.Time)) error {
+					return c.Put(k, v, func(r herdkv.Result) { done(r.OK, r.Latency) })
+				},
+			}
+		}
+
+	case "pilaf":
+		cfg := herdkv.PilafConfig{
+			Buckets:     int(o.keys) * 4 / 3,
+			ExtentBytes: int(o.keys) * (18 + o.value) * 4,
+			Cores:       o.cores,
+			Window:      o.window,
+		}
+		srv, err := herdkv.NewPilafServer(cl.Machine(0), cfg)
+		if err != nil {
+			return report{}, err
+		}
+		for k := uint64(0); k < o.keys; k++ {
+			key := herdkv.KeyFromUint64(k)
+			if err := srv.Insert(key, preloadVal(key)); err != nil {
+				return report{}, err
+			}
+		}
+		for i := range doers {
+			c, err := srv.ConnectClient(clientMachine(i))
+			if err != nil {
+				return report{}, err
+			}
+			doers[i] = doer{
+				get: func(k herdkv.Key, done func(bool, []byte, herdkv.Time)) error {
+					return c.Get(k, func(r herdkv.PilafResult) { done(r.OK, r.Value, r.Latency) })
+				},
+				put: func(k herdkv.Key, v []byte, done func(bool, herdkv.Time)) error {
+					return c.Put(k, v, func(r herdkv.PilafResult) { done(r.OK, r.Latency) })
+				},
+			}
+		}
+
+	case "farm", "farm-var":
+		cfg := herdkv.FarmConfig{
+			Mode:        herdkv.FarmInline,
+			Buckets:     int(o.keys) * 4,
+			ValueSize:   o.value,
+			ExtentBytes: int(o.keys) * (o.value + 8) * 4,
+			Cores:       o.cores,
+			Window:      o.window,
+		}
+		if o.system == "farm-var" {
+			cfg.Mode = herdkv.FarmOutOfTable
+		}
+		srv, err := herdkv.NewFarmServer(cl.Machine(0), cfg)
+		if err != nil {
+			return report{}, err
+		}
+		for k := uint64(0); k < o.keys; k++ {
+			key := herdkv.KeyFromUint64(k)
+			if err := srv.Insert(key, preloadVal(key)); err != nil {
+				return report{}, err
+			}
+		}
+		for i := range doers {
+			c, err := srv.ConnectClient(clientMachine(i))
+			if err != nil {
+				return report{}, err
+			}
+			doers[i] = doer{
+				get: func(k herdkv.Key, done func(bool, []byte, herdkv.Time)) error {
+					return c.Get(k, func(r herdkv.FarmResult) { done(r.OK, r.Value, r.Latency) })
+				},
+				put: func(k herdkv.Key, v []byte, done func(bool, herdkv.Time)) error {
+					return c.Put(k, v, func(r herdkv.FarmResult) { done(r.OK, r.Latency) })
+				},
+			}
+		}
+
+	default:
+		return report{}, fmt.Errorf("unknown system %q (herd, pilaf, farm, farm-var)", o.system)
+	}
+
+	// Drive closed loops, staggered.
+	var completed, gets, hits, verifyErr uint64
+	var lats []float64
+	measuring := false
+	stagger := 40 * herdkv.Microsecond / herdkv.Time(o.clients+1)
+	for i := range doers {
+		i := i
+		d := doers[i]
+		wcfg := herdkv.Workload{
+			GetFraction: o.getFrac, Keys: o.keys, ValueSize: o.value,
+			Seed: o.seed + int64(i)*1000,
+		}
+		if o.zipf {
+			wcfg.ZipfTheta = 0.99
+		}
+		gen := herdkv.NewWorkload(wcfg)
+		nop := 0
+		var loop func()
+		loop = func() {
+			op := gen.Next()
+			nop++
+			verify := nop%64 == 0
+			if op.IsGet {
+				d.get(op.Key, func(ok bool, v []byte, lat herdkv.Time) {
+					completed++
+					if measuring {
+						gets++
+						if ok {
+							hits++
+						}
+						lats = append(lats, lat.Microseconds())
+					}
+					if verify && ok {
+						want := herdkv.ExpectedValue(op.Key, o.value)
+						if string(v) != string(want) {
+							verifyErr++
+						}
+					}
+					loop()
+				})
+			} else {
+				// PUT latencies are excluded from the percentile report
+				// (it summarizes the GET path).
+				d.put(op.Key, herdkv.ExpectedValue(op.Key, o.value), func(bool, herdkv.Time) {
+					completed++
+					loop()
+				})
+			}
+		}
+		cl.Eng.At(herdkv.Time(i)*stagger, func() {
+			for w := 0; w < o.window; w++ {
+				loop()
+			}
+		})
+	}
+
+	cl.Eng.RunFor(o.warmup)
+	measuring = true
+	start := completed
+	cl.Eng.RunFor(o.span)
+
+	r := report{
+		mops:      float64(completed-start) / o.span.Seconds() / 1e6,
+		gets:      gets,
+		verifyErr: verifyErr,
+	}
+	if gets > 0 {
+		r.hitRate = float64(hits) / float64(gets)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		sum := 0.0
+		for _, v := range lats {
+			sum += v
+		}
+		r.mean = sum / float64(len(lats))
+		pct := func(p float64) float64 {
+			i := int(p / 100 * float64(len(lats)))
+			if i >= len(lats) {
+				i = len(lats) - 1
+			}
+			return lats[i]
+		}
+		r.p5, r.p50, r.p95, r.p99 = pct(5), pct(50), pct(95), pct(99)
+	}
+	return r, nil
+}

@@ -1,0 +1,85 @@
+package herdkv_test
+
+import (
+	"fmt"
+
+	"herdkv"
+)
+
+// Example shows the minimal HERD session: one server machine, one
+// client, a PUT and a GET across the simulated fabric.
+func Example() {
+	cl := herdkv.NewCluster(herdkv.Apt(), 2, 1)
+	cfg := herdkv.DefaultConfig()
+	cfg.NS = 2
+	cfg.MaxClients = 1
+	srv, _ := herdkv.NewServer(cl.Machine(0), cfg)
+	cli, _ := srv.ConnectClient(cl.Machine(1))
+
+	key := herdkv.KeyFromUint64(42)
+	cli.Put(key, []byte("hello"), func(herdkv.Result) {
+		cli.Get(key, func(r herdkv.Result) {
+			fmt.Printf("ok=%v value=%s\n", r.OK, r.Value)
+		})
+	})
+	cl.Eng.Run()
+	// Output: ok=true value=hello
+}
+
+// ExampleClient_Delete demonstrates the GET/PUT/DELETE interface.
+func ExampleClient_Delete() {
+	cl := herdkv.NewCluster(herdkv.Apt(), 2, 1)
+	cfg := herdkv.DefaultConfig()
+	cfg.NS = 1
+	cfg.MaxClients = 1
+	srv, _ := herdkv.NewServer(cl.Machine(0), cfg)
+	cli, _ := srv.ConnectClient(cl.Machine(1))
+
+	key := herdkv.KeyFromUint64(7)
+	cli.Put(key, []byte("temp"), func(herdkv.Result) {
+		cli.Delete(key, func(r herdkv.Result) {
+			fmt.Printf("deleted=%v\n", r.OK)
+			cli.Get(key, func(r herdkv.Result) {
+				fmt.Printf("found=%v\n", r.OK)
+			})
+		})
+	})
+	cl.Eng.Run()
+	// Output:
+	// deleted=true
+	// found=false
+}
+
+// ExampleNewWorkload drives a HERD client with the paper's
+// read-intensive workload generator.
+func ExampleNewWorkload() {
+	gen := herdkv.NewWorkload(herdkv.ReadIntensive(1000, 32, 1))
+	gets := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if gen.Next().IsGet {
+			gets++
+		}
+	}
+	fmt.Printf("GET share ~%d%%\n", int(float64(gets)/float64(n)*100+0.5))
+	// Output: GET share ~95%
+}
+
+// ExampleServer_Preload warms a deployment before measuring, as the
+// experiment harness does.
+func ExampleServer_Preload() {
+	cl := herdkv.NewCluster(herdkv.Apt(), 2, 1)
+	cfg := herdkv.DefaultConfig()
+	cfg.NS = 1
+	cfg.MaxClients = 1
+	srv, _ := herdkv.NewServer(cl.Machine(0), cfg)
+	key := herdkv.KeyFromUint64(9)
+	srv.Preload(key, []byte("warm"))
+
+	cli, _ := srv.ConnectClient(cl.Machine(1))
+	cli.Get(key, func(r herdkv.Result) {
+		fmt.Printf("%s\n", r.Value)
+	})
+	cl.Eng.Run()
+	// Output: warm
+}

@@ -1,0 +1,95 @@
+// Scaleout: when one HERD server's ~26 Mops is not enough, shard keys
+// across a fleet of servers, memcached-style. This example runs the
+// same closed-loop workload against 1, 2 and 4 HERD shards and prints
+// the aggregate throughput, demonstrating near-linear scale-out on top
+// of the paper's single-server design.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"herdkv"
+)
+
+const (
+	clientsPerShard = 8
+	keys            = 16384
+	valueSize       = 32
+	measure         = 300 * herdkv.Microsecond
+)
+
+func main() {
+	fmt.Printf("%-8s %12s %14s\n", "shards", "Mops", "Mops/shard")
+	base := 0.0
+	for _, shards := range []int{1, 2, 4} {
+		mops := run(shards)
+		if shards == 1 {
+			base = mops
+		}
+		fmt.Printf("%-8d %12.1f %14.1f\n", shards, mops, mops/float64(shards))
+		_ = base
+	}
+	fmt.Println("\nEach shard is an independent HERD server; clients route by keyhash.")
+}
+
+func run(shards int) float64 {
+	nClients := shards * clientsPerShard
+	cl := herdkv.NewCluster(herdkv.Apt(), shards+nClients, 1)
+
+	cfg := herdkv.DefaultConfig()
+	cfg.MaxClients = nClients
+	cfg.Mica = herdkv.MicaConfig{IndexBuckets: keys / 2, BucketSlots: 8, LogBytes: keys * 64}
+	servers := make([]*herdkv.Machine, shards)
+	for i := range servers {
+		servers[i] = cl.Machine(i)
+	}
+	d, err := herdkv.NewShardedDeployment(servers, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := uint64(0); k < keys; k++ {
+		key := herdkv.KeyFromUint64(k)
+		if err := d.Preload(key, herdkv.ExpectedValue(key, valueSize)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var completed uint64
+	stop := false
+	for i := 0; i < nClients; i++ {
+		sc, err := d.ConnectClient(cl.Machine(shards + i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen := herdkv.NewWorkload(herdkv.ReadIntensive(keys, valueSize, int64(i+1)))
+		var loop func()
+		loop = func() {
+			op := gen.Next()
+			if op.IsGet {
+				sc.Get(op.Key, func(herdkv.Result) {
+					completed++
+					if !stop {
+						loop()
+					}
+				})
+			} else {
+				sc.Put(op.Key, herdkv.ExpectedValue(op.Key, valueSize), func(herdkv.Result) {
+					completed++
+					if !stop {
+						loop()
+					}
+				})
+			}
+		}
+		for w := 0; w < cfg.Window; w++ {
+			loop()
+		}
+	}
+
+	cl.Eng.RunFor(100 * herdkv.Microsecond) // warm up
+	start := completed
+	cl.Eng.RunFor(measure)
+	stop = true
+	return float64(completed-start) / measure.Seconds() / 1e6
+}

@@ -1,0 +1,99 @@
+// Sequencer: globally unique, monotonically increasing IDs via RDMA
+// fetch-and-add — the classic one-sided atomics application. Several
+// client machines increment one 8-byte counter in the server's memory
+// with zero server CPU involvement.
+//
+// The example also shows why high-rate systems avoid atomics: the NIC's
+// serializing read-modify-write caps the rate at a few Mops, an order
+// of magnitude below HERD's request rate on the same hardware model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"herdkv"
+	"herdkv/internal/verbs"
+	"herdkv/internal/wire"
+)
+
+const (
+	clients   = 6
+	idsEach   = 400
+	counterMR = 64
+)
+
+func main() {
+	cl := herdkv.NewCluster(herdkv.Apt(), 1+clients, 1)
+	server := cl.Machine(0)
+	counter := server.Verbs.RegisterMR(counterMR)
+
+	issued := make(map[uint64]int) // id -> how many times handed out
+	total := 0
+
+	for c := 0; c < clients; c++ {
+		m := cl.Machine(1 + c)
+		qp := m.Verbs.CreateQP(wire.RC)
+		srvQP := server.Verbs.CreateQP(wire.RC)
+		if err := verbs.Connect(qp, srvQP); err != nil {
+			log.Fatal(err)
+		}
+		local := m.Verbs.RegisterMR(8)
+
+		var next func(remaining int)
+		next = func(remaining int) {
+			if remaining == 0 {
+				return
+			}
+			err := qp.PostAtomic(verbs.AtomicWR{
+				Kind:   verbs.FetchAdd,
+				Remote: counter,
+				Local:  local,
+				Add:    1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// The completion handler (below) chains the next request.
+			_ = remaining
+		}
+		remaining := idsEach
+		qp.SendCQ().SetHandler(func(comp verbs.Completion) {
+			id := le64(local.Bytes())
+			issued[id]++
+			total++
+			remaining--
+			if remaining > 0 {
+				next(remaining)
+			}
+		})
+		next(remaining)
+	}
+
+	start := cl.Eng.Now()
+	cl.Eng.Run()
+	elapsed := cl.Eng.Now() - start
+
+	dups := 0
+	for _, n := range issued {
+		if n > 1 {
+			dups++
+		}
+	}
+	fmt.Printf("IDs issued:    %d by %d clients\n", total, clients)
+	fmt.Printf("unique:        %d (duplicates: %d)\n", len(issued), dups)
+	fmt.Printf("rate:          %.2f M IDs/s (the atomics ceiling)\n",
+		float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("final counter: %d\n", le64(counter.Bytes()))
+	fmt.Println("\nFetch-and-add costs no server CPU, but the NIC's atomic unit")
+	fmt.Println("serializes every increment — HERD-style request/reply reaches 10x")
+	fmt.Println("this rate by spending server cores instead.")
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,112 @@
+// Webcache: HERD as a memcached-style look-aside cache in front of a
+// slow backing store — the deployment the paper's introduction motivates.
+//
+// A fleet of web frontends serves page requests. Each request needs a
+// user profile: the frontend GETs it from HERD; on a miss it pays a
+// simulated database lookup (hundreds of microseconds) and PUTs the
+// result back. The example reports hit rate and the latency gap between
+// cache hits and database fills, and demonstrates the cache's lossy
+// eviction behavior under a working set larger than the cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"herdkv"
+)
+
+const (
+	frontends   = 3
+	users       = 4000
+	requests    = 1200
+	dbLatency   = 300 * herdkv.Microsecond
+	profileSize = 120
+)
+
+func main() {
+	cl := herdkv.NewCluster(herdkv.Apt(), 1+frontends, 7)
+
+	cfg := herdkv.DefaultConfig()
+	cfg.NS = 4
+	cfg.MaxClients = frontends
+	// Deliberately tiny cache: the index holds only part of the user
+	// base, so misses and evictions actually happen.
+	cfg.Mica = herdkv.MicaConfig{IndexBuckets: 256, BucketSlots: 4, LogBytes: 1 << 18}
+	srv, err := herdkv.NewServer(cl.Machine(0), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clients := make([]*herdkv.Client, frontends)
+	for i := range clients {
+		if clients[i], err = srv.ConnectClient(cl.Machine(1 + i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	profile := func(user uint64) []byte {
+		p := make([]byte, profileSize)
+		copy(p, fmt.Sprintf("profile-of-user-%d", user))
+		return p
+	}
+
+	var (
+		served            int
+		hits              int
+		hitLat, fillLat   herdkv.Time
+		hitCount, fillCnt int
+	)
+
+	// Each frontend serves a stream of page requests over a Zipf-ish
+	// popular-user distribution (reusing the paper's workload machinery).
+	gen := herdkv.NewWorkload(herdkv.Skewed(users, profileSize, 3))
+
+	var serveNext func(f int)
+	serveNext = func(f int) {
+		if served >= requests {
+			return
+		}
+		served++
+		op := gen.Next()
+		user := op.Rank
+		key := herdkv.KeyFromUint64(user)
+		start := cl.Eng.Now()
+		clients[f].Get(key, func(r herdkv.Result) {
+			if r.OK {
+				hits++
+				hitLat += cl.Eng.Now() - start
+				hitCount++
+				serveNext(f)
+				return
+			}
+			// Miss: consult the database, then fill the cache.
+			cl.Eng.After(dbLatency, func() {
+				clients[f].Put(key, profile(user), func(herdkv.Result) {
+					fillLat += cl.Eng.Now() - start
+					fillCnt++
+					serveNext(f)
+				})
+			})
+		})
+	}
+	for f := 0; f < frontends; f++ {
+		// A few concurrent request streams per frontend.
+		for w := 0; w < 2; w++ {
+			serveNext(f)
+		}
+	}
+	cl.Eng.Run()
+
+	fmt.Printf("page requests served: %d by %d frontends\n", served, frontends)
+	fmt.Printf("cache hit rate:       %.1f%%\n", 100*float64(hits)/float64(served))
+	if hitCount > 0 {
+		fmt.Printf("hit latency (mean):   %.2f us\n", (hitLat / herdkv.Time(hitCount)).Microseconds())
+	}
+	if fillCnt > 0 {
+		fmt.Printf("miss+fill latency:    %.2f us (dominated by the %v us database)\n",
+			(fillLat / herdkv.Time(fillCnt)).Microseconds(), dbLatency.Microseconds())
+	}
+	gets, _, puts := srv.Stats()
+	fmt.Printf("server ops:           %d GETs, %d PUTs (fills)\n", gets, puts)
+}

@@ -1,0 +1,3 @@
+module herdkv
+
+go 1.22

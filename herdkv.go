@@ -1,0 +1,209 @@
+// Package herdkv is a Go reproduction of "Using RDMA Efficiently for
+// Key-Value Services" (Kalia, Kaminsky, Andersen — SIGCOMM 2014): the
+// HERD key-value cache, the Pilaf and FaRM-KV baselines it is compared
+// against, and the simulated RDMA substrate (verbs, RNIC, PCIe, fabric)
+// they all run on.
+//
+// The package is a facade: it re-exports the stable API from the
+// internal packages so applications can build and drive a full HERD
+// deployment without importing internals.
+//
+// A minimal session:
+//
+//	cl := herdkv.NewCluster(herdkv.Apt(), 2, 1)
+//	srv, _ := herdkv.NewServer(cl.Machine(0), herdkv.DefaultConfig())
+//	cli, _ := srv.ConnectClient(cl.Machine(1))
+//	key := herdkv.KeyFromUint64(42)
+//	cli.Put(key, []byte("value"), func(r herdkv.Result) {
+//	    cli.Get(key, func(r herdkv.Result) { fmt.Println(string(r.Value)) })
+//	})
+//	cl.Eng.Run() // advance virtual time until quiescent
+//
+// Everything runs on a deterministic discrete-event simulation of the
+// paper's hardware; time, throughput and latency figures are virtual
+// and calibrated to ConnectX-3 behavior (see DESIGN.md).
+package herdkv
+
+import (
+	"herdkv/internal/cluster"
+	"herdkv/internal/core"
+	"herdkv/internal/farm"
+	"herdkv/internal/kv"
+	"herdkv/internal/mica"
+	"herdkv/internal/pilaf"
+	"herdkv/internal/sim"
+	"herdkv/internal/workload"
+)
+
+// Key is a 16-byte keyhash, the item identifier across all systems.
+type Key = kv.Key
+
+// KeyFromUint64 derives a well-mixed, non-zero keyhash from n.
+func KeyFromUint64(n uint64) Key { return kv.FromUint64(n) }
+
+// Time is a point (or span) of virtual time in picoseconds.
+type Time = sim.Time
+
+// Virtual-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Cluster is a set of simulated machines sharing one fabric and one
+// virtual clock (Cluster.Eng).
+type Cluster = cluster.Cluster
+
+// Machine is one simulated host.
+type Machine = cluster.Machine
+
+// Spec describes a testbed configuration (Table 2 of the paper).
+type Spec = cluster.Spec
+
+// Apt returns the 56 Gbps InfiniBand / PCIe 3.0 testbed.
+func Apt() Spec { return cluster.Apt() }
+
+// Susitna returns the 40 Gbps RoCE / PCIe 2.0 testbed.
+func Susitna() Spec { return cluster.Susitna() }
+
+// NewCluster builds n machines under spec with a deterministic seed.
+func NewCluster(spec Spec, n int, seed int64) *Cluster {
+	return cluster.New(spec, n, seed)
+}
+
+// HERD — the paper's system (internal/core).
+
+// Server is a HERD server: NS processes polling a shared request region,
+// each owning a MICA cache partition and a UD response queue pair.
+type Server = core.Server
+
+// Client is a HERD client: UC WRITEs for requests, UD RECVs for
+// responses.
+type Client = core.Client
+
+// Config parameterizes a HERD deployment.
+type Config = core.Config
+
+// Result is the outcome of a HERD operation.
+type Result = core.Result
+
+// DefaultConfig mirrors the paper's evaluation setup (6 server
+// processes, window 4, 144-byte inline cutoff).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewServer initializes HERD on machine m.
+func NewServer(m *Machine, cfg Config) (*Server, error) { return core.NewServer(m, cfg) }
+
+// MicaConfig sizes each HERD cache partition.
+type MicaConfig = mica.Config
+
+// MicaMode selects cache (lossy, default) or store (lossless) semantics
+// for HERD's partitions.
+type MicaMode = mica.Mode
+
+// MICA semantics modes.
+const (
+	MicaCache = mica.CacheMode
+	MicaStore = mica.StoreMode
+)
+
+// ShardedDeployment scales HERD across several server machines with
+// client-side key hashing (the memcached-fleet deployment pattern).
+type ShardedDeployment = core.ShardedDeployment
+
+// ShardedClient is one application host's routed view of a sharded
+// HERD fleet.
+type ShardedClient = core.ShardedClient
+
+// NewShardedDeployment initializes one HERD server per machine.
+func NewShardedDeployment(machines []*Machine, cfg Config) (*ShardedDeployment, error) {
+	return core.NewShardedDeployment(machines, cfg)
+}
+
+// FarmSymmetric is the symmetric FaRM deployment of Section 2.3: every
+// machine hosts a shard and drives load.
+type FarmSymmetric = farm.Symmetric
+
+// NewFarmSymmetric builds an n-machine symmetric FaRM deployment.
+func NewFarmSymmetric(cl *Cluster, n int, cfg FarmConfig) (*FarmSymmetric, error) {
+	return farm.NewSymmetric(cl, n, cfg)
+}
+
+// Baselines.
+
+// PilafServer and PilafClient implement Pilaf-em-OPT: READ-based GETs
+// over a self-verifying cuckoo table, SEND/RECV PUTs.
+type (
+	PilafServer = pilaf.Server
+	PilafClient = pilaf.Client
+	PilafConfig = pilaf.Config
+	PilafResult = pilaf.Result
+)
+
+// NewPilafServer initializes Pilaf-em-OPT on machine m.
+func NewPilafServer(m *Machine, cfg PilafConfig) (*PilafServer, error) {
+	return pilaf.NewServer(m, cfg)
+}
+
+// DefaultPilafConfig returns a test-scale Pilaf deployment.
+func DefaultPilafConfig() PilafConfig { return pilaf.DefaultConfig() }
+
+// FarmServer and FarmClient implement FaRM-em / FaRM-em-VAR: hopscotch
+// neighborhood READs for GETs, circular-buffer WRITEs for PUTs.
+type (
+	FarmServer = farm.Server
+	FarmClient = farm.Client
+	FarmConfig = farm.Config
+	FarmResult = farm.Result
+	FarmMode   = farm.Mode
+)
+
+// FaRM-em value placement modes.
+const (
+	FarmInline     = farm.InlineMode
+	FarmOutOfTable = farm.VarMode
+)
+
+// NewFarmServer initializes FaRM-KV on machine m.
+func NewFarmServer(m *Machine, cfg FarmConfig) (*FarmServer, error) {
+	return farm.NewServer(m, cfg)
+}
+
+// DefaultFarmConfig returns a test-scale FaRM-em deployment.
+func DefaultFarmConfig() FarmConfig { return farm.DefaultConfig() }
+
+// Workloads.
+
+// Workload describes a request mix (GET fraction, key distribution,
+// value size).
+type Workload = workload.Config
+
+// WorkloadGen produces a deterministic op stream.
+type WorkloadGen = workload.Generator
+
+// Op is one generated request.
+type Op = workload.Op
+
+// NewWorkload returns a generator for cfg.
+func NewWorkload(cfg Workload) *WorkloadGen { return workload.NewGenerator(cfg) }
+
+// ReadIntensive is the paper's 95% GET workload.
+func ReadIntensive(keys uint64, valueSize int, seed int64) Workload {
+	return workload.ReadIntensive(keys, valueSize, seed)
+}
+
+// WriteIntensive is the paper's 50% GET workload.
+func WriteIntensive(keys uint64, valueSize int, seed int64) Workload {
+	return workload.WriteIntensive(keys, valueSize, seed)
+}
+
+// Skewed is the paper's Zipf(.99) workload.
+func Skewed(keys uint64, valueSize int, seed int64) Workload {
+	return workload.Skewed(keys, valueSize, seed)
+}
+
+// ExpectedValue returns the deterministic verification value written for
+// key by the experiment drivers.
+func ExpectedValue(key Key, size int) []byte { return workload.ExpectedValue(key, size) }

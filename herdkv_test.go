@@ -1,0 +1,117 @@
+package herdkv_test
+
+import (
+	"bytes"
+	"testing"
+
+	"herdkv"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	cl := herdkv.NewCluster(herdkv.Apt(), 2, 1)
+	cfg := herdkv.DefaultConfig()
+	cfg.NS = 2
+	cfg.MaxClients = 1
+	srv, err := herdkv.NewServer(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := srv.ConnectClient(cl.Machine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := herdkv.KeyFromUint64(1)
+	var got herdkv.Result
+	cli.Put(key, []byte("facade"), func(herdkv.Result) {
+		cli.Get(key, func(r herdkv.Result) { got = r })
+	})
+	cl.Eng.Run()
+	if !got.OK || string(got.Value) != "facade" {
+		t.Fatalf("round trip through facade: %+v", got)
+	}
+	if got.Latency < herdkv.Microsecond || got.Latency > 10*herdkv.Microsecond {
+		t.Fatalf("latency %v out of range", got.Latency)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	cl := herdkv.NewCluster(herdkv.Susitna(), 3, 2)
+	key := herdkv.KeyFromUint64(7)
+
+	pcfg := herdkv.DefaultPilafConfig()
+	pcfg.Buckets = 1024
+	psrv, err := herdkv.NewPilafServer(cl.Machine(0), pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcli, err := psrv.ConnectClient(cl.Machine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv.Insert(key, []byte("pilaf"))
+	var pres herdkv.PilafResult
+	pcli.Get(key, func(r herdkv.PilafResult) { pres = r })
+	cl.Eng.Run()
+	if !pres.OK || string(pres.Value) != "pilaf" {
+		t.Fatalf("pilaf facade: %+v", pres)
+	}
+
+	fcfg := herdkv.DefaultFarmConfig()
+	fcfg.Mode = herdkv.FarmOutOfTable
+	fcfg.Buckets = 1024
+	fsrv, err := herdkv.NewFarmServer(cl.Machine(0), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcli, err := fsrv.ConnectClient(cl.Machine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv.Insert(key, []byte("farm"))
+	var fres herdkv.FarmResult
+	fcli.Get(key, func(r herdkv.FarmResult) { fres = r })
+	cl.Eng.Run()
+	if !fres.OK || string(fres.Value) != "farm" {
+		t.Fatalf("farm facade: %+v", fres)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	for _, cfg := range []herdkv.Workload{
+		herdkv.ReadIntensive(100, 32, 1),
+		herdkv.WriteIntensive(100, 32, 1),
+		herdkv.Skewed(100, 32, 1),
+	} {
+		gen := herdkv.NewWorkload(cfg)
+		for i := 0; i < 100; i++ {
+			op := gen.Next()
+			if op.Key.IsZero() {
+				t.Fatal("zero key from workload")
+			}
+		}
+	}
+	key := herdkv.KeyFromUint64(3)
+	if !bytes.Equal(herdkv.ExpectedValue(key, 16), herdkv.ExpectedValue(key, 16)) {
+		t.Fatal("ExpectedValue not deterministic")
+	}
+}
+
+func TestFacadeSpecs(t *testing.T) {
+	apt, sus := herdkv.Apt(), herdkv.Susitna()
+	if apt.Name != "Apt" || sus.Name != "Susitna" {
+		t.Fatal("spec names")
+	}
+	if apt.Link.Gbps != 56 || sus.Link.Gbps != 40 {
+		t.Fatal("link rates")
+	}
+}
+
+func TestFacadeTimeUnits(t *testing.T) {
+	if herdkv.Second != 1000*herdkv.Millisecond {
+		t.Fatal("time unit arithmetic")
+	}
+	var d herdkv.Time = 2500 * herdkv.Nanosecond
+	if d.Microseconds() != 2.5 {
+		t.Fatal("time conversion")
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"herdkv/internal/verbs"
+	"herdkv/internal/wire"
+)
+
+func TestTable2Specs(t *testing.T) {
+	specs := Table2()
+	if len(specs) != 2 {
+		t.Fatalf("Table2 has %d rows, want 2", len(specs))
+	}
+	apt, sus := specs[0], specs[1]
+	if apt.Name != "Apt" || apt.MaxNodes != 187 {
+		t.Fatalf("Apt spec = %+v", apt)
+	}
+	if sus.Name != "Susitna" || sus.MaxNodes != 36 {
+		t.Fatalf("Susitna spec = %+v", sus)
+	}
+	if apt.Link.Gbps != 56 || sus.Link.Gbps != 40 {
+		t.Fatal("link rates wrong")
+	}
+	if sus.PCIe.BytesPerSec >= apt.PCIe.BytesPerSec {
+		t.Fatal("Susitna PCIe 2.0 must be slower than Apt's 3.0")
+	}
+	if !strings.Contains(apt.String(), "E5-2450") || !strings.Contains(sus.String(), "Opteron") {
+		t.Fatal("Table 2 strings wrong")
+	}
+}
+
+func TestClusterAssembly(t *testing.T) {
+	c := New(Apt(), 3, 1)
+	if c.Size() != 3 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	for i := 0; i < 3; i++ {
+		m := c.Machine(i)
+		if m.Verbs == nil || m.CPU == nil || m.Bus == nil {
+			t.Fatalf("machine %d incomplete", i)
+		}
+		if m.Verbs.Node() != wire.NodeID(i) {
+			t.Fatalf("machine %d node = %v", i, m.Verbs.Node())
+		}
+		if m.CPU.Cores() != 16 {
+			t.Fatalf("cores = %d", m.CPU.Cores())
+		}
+	}
+}
+
+func TestMachinesShareFabric(t *testing.T) {
+	c := New(Apt(), 2, 1)
+	qa := c.Machine(0).Verbs.CreateQP(wire.UC)
+	qb := c.Machine(1).Verbs.CreateQP(wire.UC)
+	if err := verbs.Connect(qa, qb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMachine(t *testing.T) {
+	c := New(Susitna(), 1, 1)
+	m := c.AddMachine()
+	if c.Size() != 2 || c.Machine(1) != m {
+		t.Fatal("AddMachine wiring wrong")
+	}
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/kv"
+	"herdkv/internal/mica"
+	"herdkv/internal/sim"
+	"herdkv/internal/verbs"
+	"herdkv/internal/wire"
+)
+
+// Result is the outcome of one HERD operation, delivered to the caller's
+// callback when the response SEND arrives.
+type Result struct {
+	Key     kv.Key
+	IsGet   bool
+	OK      bool
+	Value   []byte // GET hit: the value (copied)
+	Latency sim.Time
+}
+
+type opKind int
+
+const (
+	opGet opKind = iota
+	opPut
+	opDelete
+)
+
+type pendingOp struct {
+	key      kv.Key
+	kind     opKind
+	value    []byte
+	issuedAt sim.Time
+	cb       func(Result)
+
+	// Retry state.
+	proc    int
+	r       int // request sequence number within (client, proc)
+	payload []byte
+	slotOff int
+	retries int
+	done    bool
+}
+
+// Client is one HERD client process: a UC QP for writing requests into
+// the server's request region, and NS UD QPs for receiving responses.
+type Client struct {
+	srv     *Server
+	id      int
+	machine *cluster.Machine
+
+	ucQP   *verbs.QP
+	sendQP *verbs.QP // SEND/SEND mode: requests as UD SENDs
+	dcQP   *verbs.QP // DC mode: request WRITEs over Dynamically Connected
+	udQPs  []*verbs.QP
+	respMR *verbs.MR
+
+	reqSeq   []int          // next request sequence number per server process
+	inflight int            // outstanding ops against Window
+	waiting  []*pendingOp   // ops queued for a window slot
+	perProc  [][]*pendingOp // FIFO of outstanding ops per server process
+
+	issued, completed, retried uint64
+	dupResponses               uint64
+}
+
+// Retries reports how many application-level request rewrites this
+// client has performed (nonzero only under packet loss with
+// Config.RetryTimeout set).
+func (c *Client) Retries() uint64 { return c.retried }
+
+// ConnectClient attaches a HERD client on machine m: it establishes the
+// UC connection for requests (the only connected QP the server needs per
+// client — Section 4.2) and the NS UD response QPs.
+func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
+	if s.nextCli >= s.cfg.MaxClients {
+		return nil, fmt.Errorf("core: request region sized for %d clients", s.cfg.MaxClients)
+	}
+	c := &Client{
+		srv:     s,
+		id:      s.nextCli,
+		machine: m,
+		reqSeq:  make([]int, s.cfg.NS),
+		perProc: make([][]*pendingOp, s.cfg.NS),
+	}
+	s.nextCli++
+
+	// Request path: one UC QP pair (WRITE mode), a connectionless UD QP
+	// (SEND/SEND mode), or a DC initiator (DC mode) — the latter two
+	// keep no per-client state at the server NIC.
+	switch {
+	case s.cfg.UseSendRequests:
+		c.sendQP = m.Verbs.CreateQP(wire.UD)
+	case s.cfg.UseDC:
+		c.dcQP = m.Verbs.CreateQP(wire.DC)
+	default:
+		serverUC := s.machine.Verbs.CreateQP(wire.UC)
+		c.ucQP = m.Verbs.CreateQP(wire.UC)
+		if err := verbs.Connect(c.ucQP, serverUC); err != nil {
+			return nil, err
+		}
+	}
+
+	// Response path: NS UD QPs and a response region with one slot per
+	// (process, window) pair.
+	c.respMR = m.Verbs.RegisterMR(s.cfg.NS * s.cfg.Window * SlotSize)
+	c.udQPs = make([]*verbs.QP, s.cfg.NS)
+	for p := 0; p < s.cfg.NS; p++ {
+		p := p
+		c.udQPs[p] = m.Verbs.CreateQP(wire.UD)
+		c.udQPs[p].RecvCQ().SetHandler(func(comp verbs.Completion) {
+			c.handleResponse(p, comp)
+		})
+	}
+	s.clientUD = append(s.clientUD, c.udQPs)
+	return c, nil
+}
+
+// ID returns the client's index in the request region.
+func (c *Client) ID() int { return c.id }
+
+// Inflight returns the number of outstanding operations.
+func (c *Client) Inflight() int { return c.inflight }
+
+// Issued and Completed report operation counts.
+func (c *Client) Issued() uint64    { return c.issued }
+func (c *Client) Completed() uint64 { return c.completed }
+
+// Get issues a GET for key; cb runs when the response arrives.
+func (c *Client) Get(key kv.Key, cb func(Result)) error {
+	if key.IsZero() {
+		return mica.ErrZeroKey
+	}
+	c.submit(&pendingOp{key: key, kind: opGet, cb: cb})
+	return nil
+}
+
+// Delete removes key; cb runs when the ack arrives. Result.OK reports
+// whether the key was present.
+func (c *Client) Delete(key kv.Key, cb func(Result)) error {
+	if key.IsZero() {
+		return mica.ErrZeroKey
+	}
+	c.submit(&pendingOp{key: key, kind: opDelete, cb: cb})
+	return nil
+}
+
+// Put issues a PUT; cb runs when the ack arrives. Values are limited to
+// the 1 KB item size minus headers; empty values are not allowed (a zero
+// LEN denotes a GET in the slot format).
+func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
+	if key.IsZero() {
+		return mica.ErrZeroKey
+	}
+	if len(value) == 0 {
+		return fmt.Errorf("core: PUT requires a non-empty value")
+	}
+	if len(value) > mica.MaxValueSize {
+		return mica.ErrValueTooLarge
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	c.submit(&pendingOp{key: key, kind: opPut, value: v, cb: cb})
+	return nil
+}
+
+func (c *Client) submit(op *pendingOp) {
+	if c.inflight >= c.srv.cfg.Window {
+		c.waiting = append(c.waiting, op)
+		return
+	}
+	c.issue(op)
+}
+
+func (c *Client) issue(op *pendingOp) {
+	cfg := c.srv.cfg
+	proc := mica.Partition(op.key, cfg.NS)
+	r := c.reqSeq[proc]
+	c.reqSeq[proc]++
+
+	// Post the RECV for the response before writing the request
+	// (Section 4.3).
+	respSlot := (proc*cfg.Window + r%cfg.Window) * SlotSize
+	c.udQPs[proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(r))
+
+	// Build the request so it ends exactly at the slot boundary: the
+	// keyhash lands last under left-to-right DMA ordering.
+	slotOff := cfg.SlotIndex(proc, c.id, r) * SlotSize
+	var payload []byte
+	if cfg.UseSendRequests {
+		// SEND-mode tail: [client 2][seq 2][LEN 2][keyhash 16].
+		vlen := uint16(0)
+		var val []byte
+		switch op.kind {
+		case opDelete:
+			vlen = lenDelete
+		case opPut:
+			vlen = uint16(len(op.value))
+			val = op.value
+		}
+		payload = make([]byte, len(val)+sendReqTail)
+		copy(payload, val)
+		p := len(val)
+		binary.LittleEndian.PutUint16(payload[p:], uint16(c.id))
+		binary.LittleEndian.PutUint16(payload[p+2:], uint16(r%cfg.Window))
+		binary.LittleEndian.PutUint16(payload[p+4:], vlen)
+		copy(payload[p+6:], op.key[:])
+	} else {
+		switch op.kind {
+		case opGet:
+			payload = make([]byte, kv.KeySize)
+			copy(payload, op.key[:])
+		case opDelete:
+			payload = make([]byte, 2+kv.KeySize)
+			binary.LittleEndian.PutUint16(payload, lenDelete)
+			copy(payload[2:], op.key[:])
+		default: // opPut
+			payload = make([]byte, len(op.value)+2+kv.KeySize)
+			copy(payload, op.value)
+			binary.LittleEndian.PutUint16(payload[len(op.value):], uint16(len(op.value)))
+			copy(payload[len(op.value)+2:], op.key[:])
+		}
+	}
+	op.proc = proc
+	op.r = r
+	op.payload = payload
+	op.slotOff = slotOff + SlotSize - len(payload)
+	op.issuedAt = c.machine.Verbs.NIC().Engine().Now()
+	c.inflight++
+	c.issued++
+	c.perProc[proc] = append(c.perProc[proc], op)
+
+	c.writeRequest(op)
+	c.scheduleRetry(op)
+}
+
+// writeRequest posts (or re-posts) op's request: a WRITE into the
+// request region, or a UD SEND in SEND/SEND mode.
+func (c *Client) writeRequest(op *pendingOp) {
+	inline := len(op.payload) <= c.machine.Verbs.NIC().Params().InlineMax
+	if c.sendQP != nil {
+		c.sendQP.PostSend(verbs.SendWR{
+			Verb:   verbs.SEND,
+			Data:   op.payload,
+			Dest:   c.srv.udQPs[op.proc],
+			Inline: inline,
+		})
+		return
+	}
+	if c.dcQP != nil {
+		c.dcQP.PostSend(verbs.SendWR{
+			Verb:      verbs.WRITE,
+			Data:      op.payload,
+			Dest:      c.srv.dcQP,
+			Remote:    c.srv.region,
+			RemoteOff: op.slotOff,
+			Inline:    inline,
+		})
+		return
+	}
+	c.ucQP.PostSend(verbs.SendWR{
+		Verb:      verbs.WRITE,
+		Data:      op.payload,
+		Remote:    c.srv.region,
+		RemoteOff: op.slotOff,
+		Inline:    inline,
+	})
+}
+
+// scheduleRetry arms the application-level retry timer (Section 2.2.3's
+// answer to the unreliable transports).
+func (c *Client) scheduleRetry(op *pendingOp) {
+	timeout := c.srv.cfg.RetryTimeout
+	if timeout <= 0 {
+		return
+	}
+	max := c.srv.cfg.MaxRetries
+	if max <= 0 {
+		max = 3
+	}
+	c.machine.Verbs.NIC().Engine().After(timeout, func() {
+		if op.done || op.retries >= max {
+			return
+		}
+		op.retries++
+		c.retried++
+		// The retry may produce a duplicate response (if the original
+		// response, not the request, was lost): post a spare RECV so the
+		// duplicate cannot starve a later operation's completion.
+		respSlot := (op.proc*c.srv.cfg.Window + op.r%c.srv.cfg.Window) * SlotSize
+		c.udQPs[op.proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(op.r))
+		c.writeRequest(op)
+		c.scheduleRetry(op)
+	})
+}
+
+func (c *Client) handleResponse(proc int, comp verbs.Completion) {
+	if len(comp.Data) < respHdr {
+		return
+	}
+	// Match the response to its operation by the echoed window-slot
+	// sequence; a response whose slot has no outstanding op is a
+	// duplicate from a retried request and is discarded.
+	rMod := binary.LittleEndian.Uint16(comp.Data[3:5])
+	idx := -1
+	for i, op := range c.perProc[proc] {
+		if uint16(op.r%c.srv.cfg.Window) == rMod {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.dupResponses++
+		return
+	}
+	op := c.perProc[proc][idx]
+	c.perProc[proc] = append(c.perProc[proc][:idx], c.perProc[proc][idx+1:]...)
+	op.done = true
+	c.inflight--
+	c.completed++
+
+	res := Result{
+		Key:     op.key,
+		IsGet:   op.kind == opGet,
+		Latency: c.machine.Verbs.NIC().Engine().Now() - op.issuedAt,
+	}
+	status := comp.Data[0]
+	res.OK = status == statusOK
+	if op.kind == opGet && res.OK {
+		vlen := int(binary.LittleEndian.Uint16(comp.Data[1:3]))
+		if respHdr+vlen <= len(comp.Data) {
+			res.Value = append([]byte(nil), comp.Data[respHdr:respHdr+vlen]...)
+		}
+	}
+
+	// Window slot freed: issue the next queued op before the callback so
+	// closed-loop clients keep the pipe full.
+	if len(c.waiting) > 0 {
+		next := c.waiting[0]
+		c.waiting = c.waiting[1:]
+		c.issue(next)
+	}
+	if op.cb != nil {
+		op.cb(res)
+	}
+}

@@ -1,0 +1,467 @@
+// Package core implements HERD (Section 4 of the paper): the key-value
+// cache in which clients WRITE requests over UC into a polled request
+// region on the server, and the server replies with unsignaled SENDs
+// over UD.
+//
+// Everything the paper describes is functional here:
+//
+//   - The request region layout of Figure 8: NS x NC x W slots of 1 KB,
+//     with the keyhash in the rightmost 16 bytes so the RNIC's
+//     left-to-right DMA ordering makes a nonzero keyhash imply a fully
+//     landed request. The server zeroes the keyhash (and LEN) after
+//     serving a slot; clients never use a zero keyhash.
+//   - EREW partitioning: clients steer each request to the server
+//     process that exclusively owns the key's MICA partition by writing
+//     into that process's chunk of the request region.
+//   - Request formats: a GET is exactly a 16-byte keyhash; a PUT is
+//     [value][LEN][keyhash] written as one WRITE ending at the slot
+//     boundary.
+//   - Responses are SENDs over UD — one UD QP per server process, NS UD
+//     QPs per client — inlined up to a cutoff (the paper switches to
+//     non-inlined SENDs at 144-byte values on Apt), unsignaled, using
+//     new requests as implicit completion of old SENDs.
+//   - The two-stage prefetch pipeline's effect on per-request CPU time
+//     (Section 4.1.1) via the host memory model.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/kv"
+	"herdkv/internal/mica"
+	"herdkv/internal/sim"
+	"herdkv/internal/verbs"
+	"herdkv/internal/wire"
+)
+
+// SlotSize is the request slot size; the maximum key-value item is 1 KB
+// (Section 4.2).
+const SlotSize = 1024
+
+// Slot field offsets from the END of the slot.
+const (
+	keyTail = kv.KeySize  // keyhash occupies the rightmost 16 bytes
+	lenTail = keyTail + 2 // LEN precedes the keyhash
+	// respHdr is the response header: status byte, 2-byte value length,
+	// and the request's 2-byte window-slot sequence. Echoing the
+	// sequence lets clients match responses explicitly, which makes
+	// application-level retries (lost request OR lost response) safe
+	// with at-least-once, idempotent re-execution.
+	respHdr = 5
+)
+
+// LEN field encoding: zero denotes a GET (the request is the bare
+// keyhash); values up to MaxValueSize denote a PUT of that length;
+// lenDelete marks a DELETE (the GET/PUT/DELETE interface of Section 2.1).
+const lenDelete = 0xffff
+
+// Response status codes.
+const (
+	statusOK       = 1
+	statusNotFound = 2
+)
+
+// Config parameterizes a HERD deployment.
+type Config struct {
+	// NS is the number of server processes (one core each). The paper's
+	// evaluation uses 6.
+	NS int
+	// MaxClients (NC) sizes the request region; the paper uses ~200.
+	MaxClients int
+	// Window (W) is each client's maximum outstanding requests; the
+	// default is 4 (Figure 12 also evaluates 16).
+	Window int
+	// InlineCutoff is the largest value length sent as an inlined SEND
+	// response; larger values go non-inlined (144 on Apt).
+	InlineCutoff int
+	// Prefetch enables the two-stage request pipeline (Section 4.1.1).
+	Prefetch bool
+	// Mica configures each per-process cache partition.
+	Mica mica.Config
+
+	// UseDC routes request WRITEs over the Dynamically Connected
+	// transport instead of UC. The paper expects Connect-IB's DC to
+	// resolve Figure 12's client-scaling limit (Section 5.5): all
+	// inbound DC traffic shares one NIC context, so the request path
+	// keeps WRITE semantics and WRITE speed without per-client receive
+	// state. Mutually exclusive with UseSendRequests.
+	UseDC bool
+
+	// UseSendRequests selects the SEND/SEND architecture of Section 5.5:
+	// clients SEND requests over UD instead of WRITEing them into the
+	// request region. This costs ~4-5 Mops of peak throughput (inbound
+	// SEND processing plus RECV reposting) but removes all connected
+	// state from the server NIC, so throughput no longer declines with
+	// client count (compare Figure 12).
+	UseSendRequests bool
+
+	// ResponseBatch > 1 lets each server process accumulate up to that
+	// many responses and post them behind a single doorbell
+	// (PostSendBatch): the response path stops being PIO-bound, raising
+	// peak throughput at a small latency cost. 0 or 1 posts responses
+	// individually (the paper's behavior).
+	ResponseBatch int
+
+	// RetryTimeout enables application-level retries: UC/UD sacrifice
+	// transport-level retransmission, so on (rare) packet loss the
+	// client rewrites its request after this much time with no response
+	// (Section 2.2.3). Zero disables retries. The timeout must comfortably
+	// exceed worst-case response latency or duplicated responses will
+	// desynchronize the client's FIFO matching.
+	RetryTimeout sim.Time
+	// MaxRetries bounds rewrites per operation (default 3 when retries
+	// are enabled).
+	MaxRetries int
+}
+
+// DefaultConfig mirrors the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		NS:           6,
+		MaxClients:   208,
+		Window:       4,
+		InlineCutoff: 144,
+		Prefetch:     true,
+		Mica:         mica.DefaultConfig(),
+	}
+}
+
+// RegionSize returns the request region size in bytes: NS*NC*W KB.
+func (c Config) RegionSize() int { return c.NS * c.MaxClients * c.Window * SlotSize }
+
+// SlotIndex computes the request slot for server process s, client c,
+// request sequence r — the paper's s*(W*NC) + (c*W) + r mod W.
+func (c Config) SlotIndex(s, client, r int) int {
+	return s*(c.Window*c.MaxClients) + client*c.Window + r%c.Window
+}
+
+// Server is the HERD server machine: NS server processes sharing the
+// request region, each owning one MICA partition and one UD QP.
+type Server struct {
+	cfg       Config
+	machine   *cluster.Machine
+	region    *verbs.MR
+	parts     []*mica.Cache
+	udQPs     []*verbs.QP
+	sendStage *verbs.MR // SEND/SEND mode RECV staging pool
+	dcQP      *verbs.QP // DC mode: the single DC target for all clients
+	nextCli   int
+
+	// clientUD[c][s] is client c's UD QP for responses from process s,
+	// registered at connection setup (the paper's address-handle
+	// exchange).
+	clientUD [][]*verbs.QP
+
+	// Response batching state (Config.ResponseBatch > 1): per-process
+	// buffered response WRs and whether a flush timer is armed.
+	respBuf   [][]verbs.SendWR
+	respArmed []bool
+
+	// Stats
+	gets, puts, getHits uint64
+	deletes             uint64
+	inlineResponses     uint64
+	nonInlineResponses  uint64
+}
+
+// NewServer initializes HERD on machine m. It plays the role of the
+// paper's initializer process (creates and registers the request region)
+// plus the NS server processes.
+func NewServer(m *cluster.Machine, cfg Config) (*Server, error) {
+	if cfg.NS < 1 || cfg.NS > m.CPU.Cores() {
+		return nil, fmt.Errorf("core: NS=%d must be in [1, %d cores]", cfg.NS, m.CPU.Cores())
+	}
+	if cfg.Window < 1 || cfg.MaxClients < 1 {
+		return nil, errors.New("core: Window and MaxClients must be positive")
+	}
+	if cfg.UseDC && cfg.UseSendRequests {
+		return nil, errors.New("core: UseDC and UseSendRequests are mutually exclusive")
+	}
+	s := &Server{cfg: cfg, machine: m}
+	s.region = m.Verbs.RegisterMR(cfg.RegionSize())
+	s.parts = make([]*mica.Cache, cfg.NS)
+	s.udQPs = make([]*verbs.QP, cfg.NS)
+	for i := range s.parts {
+		s.parts[i] = mica.New(cfg.Mica)
+		s.udQPs[i] = m.Verbs.CreateQP(wire.UD)
+	}
+	if cfg.UseSendRequests {
+		// SEND/SEND mode (Section 5.5): each process's UD QP also
+		// receives requests; pre-post a deep pool of RECVs per process.
+		// Every process needs at least the full client window's worth —
+		// integer division must never round a small pool down to zero.
+		perProc := 2 * cfg.MaxClients * cfg.Window / cfg.NS
+		if min := 2 * cfg.Window; perProc < min {
+			perProc = min
+		}
+		s.sendStage = m.Verbs.RegisterMR(perProc * cfg.NS * SlotSize)
+		for p := 0; p < cfg.NS; p++ {
+			p := p
+			for w := 0; w < perProc; w++ {
+				slot := p*perProc + w
+				s.udQPs[p].PostRecv(s.sendStage, slot*SlotSize, SlotSize, uint64(slot))
+			}
+			s.udQPs[p].RecvCQ().SetHandler(func(comp verbs.Completion) {
+				s.onSendRequest(p, comp)
+			})
+		}
+	} else {
+		if cfg.UseDC {
+			s.dcQP = m.Verbs.CreateQP(wire.DC)
+		}
+		s.region.Watch(0, cfg.RegionSize(), s.onRequestLanded)
+	}
+	return s, nil
+}
+
+// Config returns the server configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Region exposes the request region (for tests and layout inspection).
+func (s *Server) Region() *verbs.MR { return s.region }
+
+// Partition returns server process i's cache partition.
+func (s *Server) Partition(i int) *mica.Cache { return s.parts[i] }
+
+// Preload inserts an item server-side (no network traffic), routing it
+// to the partition that will serve it — used to warm a deployment before
+// an experiment.
+func (s *Server) Preload(key kv.Key, value []byte) error {
+	return s.parts[mica.Partition(key, s.cfg.NS)].Put(key, value)
+}
+
+// Stats reports server-side operation counts.
+func (s *Server) Stats() (gets, getHits, puts uint64) { return s.gets, s.getHits, s.puts }
+
+// Deletes reports served DELETE counts.
+func (s *Server) Deletes() uint64 { return s.deletes }
+
+// InlineStats reports how responses were sent.
+func (s *Server) InlineStats() (inline, nonInline uint64) {
+	return s.inlineResponses, s.nonInlineResponses
+}
+
+// onRequestLanded fires when a client WRITE completes in the request
+// region. The RNIC writes left to right, so by the time the keyhash
+// bytes (rightmost) are visible, the whole request is. The landing that
+// covers a slot's tail is the polling trigger. A slot whose keyhash was
+// rewritten after service (a client retry whose original response was
+// lost) is served again: operations are idempotent, and the echoed slot
+// sequence lets the client discard duplicate responses.
+func (s *Server) onRequestLanded(off, n int) {
+	end := off + n
+	if end%SlotSize != 0 {
+		return // not a request-format write
+	}
+	slot := end/SlotSize - 1
+	proc := slot / (s.cfg.Window * s.cfg.MaxClients)
+	rest := slot % (s.cfg.Window * s.cfg.MaxClients)
+	client := rest / s.cfg.Window
+	if proc >= s.cfg.NS {
+		return
+	}
+	s.serve(proc, client, slot)
+}
+
+// request is one parsed client operation awaiting CPU service.
+type request struct {
+	proc, client int
+	key          kv.Key
+	vlen         int
+	value        []byte
+	rMod         uint16
+	slotRaw      []byte // WRITE mode: the slot, whose tail is zeroed after service
+	viaSend      bool   // SEND/SEND mode: charge RECV reposting
+}
+
+// serve parses the request in `slot` (WRITE mode) and runs it.
+func (s *Server) serve(proc, client, slot int) {
+	base := slot * SlotSize
+	raw := s.region.Bytes()[base : base+SlotSize]
+
+	var key kv.Key
+	copy(key[:], raw[SlotSize-keyTail:])
+	if key.IsZero() {
+		return
+	}
+	vlen := int(binary.LittleEndian.Uint16(raw[SlotSize-lenTail : SlotSize-keyTail]))
+	req := request{
+		proc: proc, client: client, key: key, vlen: vlen,
+		rMod: uint16(slot % s.cfg.Window), slotRaw: raw,
+	}
+	if vlen > 0 && vlen != lenDelete {
+		req.value = raw[SlotSize-lenTail-vlen : SlotSize-lenTail]
+	}
+	s.execute(req)
+}
+
+// execute runs one request on its process's core: poll/RECV handling,
+// MICA work (with or without the prefetch pipeline), and the response
+// SEND.
+func (s *Server) execute(req request) {
+	isPut := req.vlen > 0 && req.vlen != lenDelete
+	isDelete := req.vlen == lenDelete
+	accesses := mica.AccessesPerGet
+	if isPut || isDelete {
+		accesses = mica.AccessesPerPut
+	}
+	service := s.machine.CPU.RequestService(accesses, s.cfg.Prefetch)
+	if req.viaSend {
+		service += s.machine.CPU.Params().RecvRepost
+	}
+
+	s.machine.CPU.Core(req.proc).Submit(service, func(sim.Time) {
+		part := s.parts[req.proc]
+		var resp []byte
+		hdr := func(status byte, vlen int) []byte {
+			h := make([]byte, respHdr+vlen)
+			h[0] = status
+			binary.LittleEndian.PutUint16(h[1:3], uint16(vlen))
+			binary.LittleEndian.PutUint16(h[3:5], req.rMod)
+			return h
+		}
+		switch {
+		case isPut:
+			err := part.Put(req.key, req.value)
+			s.puts++
+			status := byte(statusOK)
+			if err != nil {
+				status = statusNotFound
+			}
+			resp = hdr(status, 0)
+		case isDelete:
+			s.deletes++
+			status := byte(statusNotFound)
+			if part.Delete(req.key) {
+				status = statusOK
+			}
+			resp = hdr(status, 0)
+		default:
+			v, ok := part.Get(req.key)
+			s.gets++
+			if ok {
+				s.getHits++
+				resp = hdr(statusOK, len(v))
+				copy(resp[respHdr:], v)
+			} else {
+				resp = hdr(statusNotFound, 0)
+			}
+		}
+
+		// Free the slot for the client's next request: zero LEN + key.
+		if req.slotRaw != nil {
+			for i := SlotSize - lenTail; i < SlotSize; i++ {
+				req.slotRaw[i] = 0
+			}
+		}
+
+		// Response: unsignaled SEND over UD, inlined below the cutoff.
+		inline := len(resp)-respHdr <= s.cfg.InlineCutoff
+		if inline {
+			s.inlineResponses++
+		} else {
+			s.nonInlineResponses++
+		}
+		dest := s.clientQP(req.client, req.proc)
+		if dest == nil {
+			return
+		}
+		wr := verbs.SendWR{
+			Verb:   verbs.SEND,
+			Data:   resp,
+			Dest:   dest,
+			Inline: inline,
+		}
+		if s.cfg.ResponseBatch <= 1 {
+			s.udQPs[req.proc].PostSend(wr)
+			return
+		}
+		s.bufferResponse(req.proc, wr)
+	})
+}
+
+// respFlushDelay bounds how long a buffered response waits for batch
+// companions — roughly one polling round.
+const respFlushDelay = 300 * sim.Nanosecond
+
+// bufferResponse queues wr for process proc and flushes when the batch
+// fills or the flush timer expires.
+func (s *Server) bufferResponse(proc int, wr verbs.SendWR) {
+	if s.respBuf == nil {
+		s.respBuf = make([][]verbs.SendWR, s.cfg.NS)
+		s.respArmed = make([]bool, s.cfg.NS)
+	}
+	s.respBuf[proc] = append(s.respBuf[proc], wr)
+	if len(s.respBuf[proc]) >= s.cfg.ResponseBatch {
+		s.flushResponses(proc)
+		return
+	}
+	if !s.respArmed[proc] {
+		s.respArmed[proc] = true
+		s.machine.Verbs.NIC().Engine().After(respFlushDelay, func() {
+			s.flushResponses(proc)
+		})
+	}
+}
+
+func (s *Server) flushResponses(proc int) {
+	s.respArmed[proc] = false
+	if len(s.respBuf[proc]) == 0 {
+		return
+	}
+	batch := s.respBuf[proc]
+	s.respBuf[proc] = nil
+	s.udQPs[proc].PostSendBatch(batch)
+}
+
+// sendReqTail is the trailing header of a SEND-mode request:
+// [client 2][seq 2][LEN 2][keyhash 16].
+const sendReqTail = 2 + 2 + 2 + kv.KeySize
+
+// onSendRequest handles a SEND/SEND-mode request arriving on process
+// proc's UD queue pair.
+func (s *Server) onSendRequest(proc int, comp verbs.Completion) {
+	data := comp.Data
+	if len(data) < sendReqTail {
+		return
+	}
+	// Repost the consumed RECV immediately (its CPU cost is charged in
+	// execute).
+	s.udQPs[proc].PostRecv(s.sendStage, int(comp.WRID)*SlotSize, SlotSize, comp.WRID)
+
+	n := len(data)
+	var key kv.Key
+	copy(key[:], data[n-keyTail:])
+	if key.IsZero() {
+		return
+	}
+	vlen := int(binary.LittleEndian.Uint16(data[n-lenTail : n-keyTail]))
+	rMod := binary.LittleEndian.Uint16(data[n-lenTail-2 : n-lenTail])
+	client := int(binary.LittleEndian.Uint16(data[n-sendReqTail : n-lenTail-2]))
+	if client >= len(s.clientUD) {
+		return
+	}
+	req := request{
+		proc: proc, client: client, key: key, vlen: vlen,
+		rMod: rMod, viaSend: true,
+	}
+	if vlen > 0 && vlen != lenDelete {
+		if vlen > n-sendReqTail {
+			return
+		}
+		req.value = append([]byte(nil), data[n-sendReqTail-vlen:n-sendReqTail]...)
+	}
+	s.execute(req)
+}
+
+// clientQP returns the UD QP on which client receives responses from
+// server process proc.
+func (s *Server) clientQP(client, proc int) *verbs.QP {
+	if client >= len(s.clientUD) {
+		return nil
+	}
+	return s.clientUD[client][proc]
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/kv"
+)
+
+// ShardedDeployment scales HERD past one server machine the way
+// memcached fleets do: keys are hashed across several independent HERD
+// servers, and each application host runs one client per server. The
+// paper evaluates a single server (its RNIC is the unit whose capacity
+// is under study); sharding is the standard deployment answer when one
+// server's 26 Mops is not enough.
+type ShardedDeployment struct {
+	servers []*Server
+	seed    uint64
+}
+
+// NewShardedDeployment initializes one HERD server on each of the given
+// machines.
+func NewShardedDeployment(machines []*cluster.Machine, cfg Config) (*ShardedDeployment, error) {
+	if len(machines) < 1 {
+		return nil, fmt.Errorf("core: sharded deployment needs at least one server")
+	}
+	d := &ShardedDeployment{seed: 0x54a6d}
+	for _, m := range machines {
+		srv, err := NewServer(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.servers = append(d.servers, srv)
+	}
+	return d, nil
+}
+
+// Shards returns the number of server machines.
+func (d *ShardedDeployment) Shards() int { return len(d.servers) }
+
+// ShardOf returns the server index owning key.
+func (d *ShardedDeployment) ShardOf(key kv.Key) int {
+	return int(key.Hash64(d.seed) % uint64(len(d.servers)))
+}
+
+// Server returns shard i's server.
+func (d *ShardedDeployment) Server(i int) *Server { return d.servers[i] }
+
+// Preload inserts key on its owning shard.
+func (d *ShardedDeployment) Preload(key kv.Key, value []byte) error {
+	return d.servers[d.ShardOf(key)].Preload(key, value)
+}
+
+// ShardedClient is one application host's view of the fleet: a HERD
+// client per shard, routed by keyhash.
+type ShardedClient struct {
+	d       *ShardedDeployment
+	clients []*Client
+}
+
+// ConnectClient attaches machine m to every shard.
+func (d *ShardedDeployment) ConnectClient(m *cluster.Machine) (*ShardedClient, error) {
+	sc := &ShardedClient{d: d}
+	for _, srv := range d.servers {
+		c, err := srv.ConnectClient(m)
+		if err != nil {
+			return nil, err
+		}
+		sc.clients = append(sc.clients, c)
+	}
+	return sc, nil
+}
+
+func (sc *ShardedClient) route(key kv.Key) *Client {
+	return sc.clients[sc.d.ShardOf(key)]
+}
+
+// Get issues a GET to the key's shard.
+func (sc *ShardedClient) Get(key kv.Key, cb func(Result)) error {
+	return sc.route(key).Get(key, cb)
+}
+
+// Put issues a PUT to the key's shard.
+func (sc *ShardedClient) Put(key kv.Key, value []byte, cb func(Result)) error {
+	return sc.route(key).Put(key, value, cb)
+}
+
+// Delete issues a DELETE to the key's shard.
+func (sc *ShardedClient) Delete(key kv.Key, cb func(Result)) error {
+	return sc.route(key).Delete(key, cb)
+}
+
+// Completed sums completions across the per-shard clients.
+func (sc *ShardedClient) Completed() uint64 {
+	var total uint64
+	for _, c := range sc.clients {
+		total += c.Completed()
+	}
+	return total
+}

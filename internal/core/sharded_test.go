@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/kv"
+	"herdkv/internal/sim"
+)
+
+func newSharded(t *testing.T, nServers, nClients int) (*cluster.Cluster, *ShardedDeployment, []*ShardedClient) {
+	t.Helper()
+	cl := cluster.New(cluster.Apt(), nServers+nClients, 1)
+	cfg := smallConfig()
+	cfg.MaxClients = nClients
+	servers := make([]*cluster.Machine, nServers)
+	for i := range servers {
+		servers[i] = cl.Machine(i)
+	}
+	d, err := NewShardedDeployment(servers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*ShardedClient, nClients)
+	for i := range clients {
+		clients[i], err = d.ConnectClient(cl.Machine(nServers + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cl, d, clients
+}
+
+func TestShardedRoundTrip(t *testing.T) {
+	cl, d, clients := newSharded(t, 3, 2)
+	n := 120
+	oks := 0
+	for i := 0; i < n; i++ {
+		clients[i%2].Put(kv.FromUint64(uint64(i+1)), []byte{byte(i)}, func(r Result) {
+			if r.OK {
+				oks++
+			}
+		})
+	}
+	cl.Eng.Run()
+	if oks != n {
+		t.Fatalf("puts = %d/%d", oks, n)
+	}
+	// Reads route to the right shard and find the data.
+	got := 0
+	for i := 0; i < n; i++ {
+		i := i
+		clients[(i+1)%2].Get(kv.FromUint64(uint64(i+1)), func(r Result) {
+			if r.OK && bytes.Equal(r.Value, []byte{byte(i)}) {
+				got++
+			}
+		})
+	}
+	cl.Eng.Run()
+	if got != n {
+		t.Fatalf("gets = %d/%d", got, n)
+	}
+	// Every shard should have served something.
+	for s := 0; s < d.Shards(); s++ {
+		gets, _, puts := d.Server(s).Stats()
+		if gets+puts == 0 {
+			t.Fatalf("shard %d idle", s)
+		}
+	}
+}
+
+func TestShardedRoutingStable(t *testing.T) {
+	_, d, _ := newSharded(t, 4, 1)
+	for i := uint64(0); i < 1000; i++ {
+		k := kv.FromUint64(i)
+		if d.ShardOf(k) != d.ShardOf(k) {
+			t.Fatal("routing unstable")
+		}
+		if s := d.ShardOf(k); s < 0 || s >= 4 {
+			t.Fatalf("shard %d out of range", s)
+		}
+	}
+}
+
+func TestShardedDelete(t *testing.T) {
+	cl, _, clients := newSharded(t, 2, 1)
+	key := kv.FromUint64(5)
+	var gone Result
+	clients[0].Put(key, []byte("x"), func(Result) {
+		clients[0].Delete(key, func(Result) {
+			clients[0].Get(key, func(r Result) { gone = r })
+		})
+	})
+	cl.Eng.Run()
+	if gone.OK {
+		t.Fatal("key survived sharded delete")
+	}
+}
+
+func TestShardedAggregateThroughputScales(t *testing.T) {
+	// The deployment answer to one server's ceiling: aggregate Mops
+	// grows with shard count.
+	measure := func(nServers int) float64 {
+		cfg := smallConfig()
+		cfg.NS = 6
+		nClients := 4 * nServers
+		cfg.MaxClients = nClients
+		cl := cluster.New(cluster.Apt(), nServers+nClients, 1)
+		servers := make([]*cluster.Machine, nServers)
+		for i := range servers {
+			servers[i] = cl.Machine(i)
+		}
+		d, err := NewShardedDeployment(servers, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var completed uint64
+		stop := false
+		for i := 0; i < nClients; i++ {
+			sc, err := d.ConnectClient(cl.Machine(nServers + i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var loop func(k uint64)
+			loop = func(k uint64) {
+				sc.Get(kv.FromUint64(k%4096+1), func(Result) {
+					completed++
+					if !stop {
+						loop(k + 13)
+					}
+				})
+			}
+			for w := 0; w < 4; w++ {
+				loop(uint64(i*100 + w))
+			}
+		}
+		cl.Eng.RunFor(100 * sim.Microsecond)
+		start := completed
+		cl.Eng.RunFor(200 * sim.Microsecond)
+		stop = true
+		return float64(completed-start) / 200e-6 / 1e6
+	}
+	one, three := measure(1), measure(3)
+	if three < one*2.2 {
+		t.Fatalf("3 shards (%.1f Mops) should deliver >2.2x one shard (%.1f)", three, one)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewShardedDeployment(nil, smallConfig()); err == nil {
+		t.Fatal("empty deployment accepted")
+	}
+}
+
+func TestShardedPreloadAndAccessors(t *testing.T) {
+	cl, d, clients := newSharded(t, 2, 1)
+	key := kv.FromUint64(31)
+	if err := d.Preload(key, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	clients[0].Get(key, func(r Result) { got = r })
+	cl.Eng.Run()
+	if !got.OK || string(got.Value) != "warm" {
+		t.Fatalf("preloaded GET = %+v", got)
+	}
+	if clients[0].Completed() == 0 {
+		t.Fatal("Completed accessor")
+	}
+}

@@ -1,0 +1,55 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"herdkv/internal/kv"
+)
+
+func benchTable(b *testing.B, fill int) *Table {
+	b.Helper()
+	n := 1 << 16
+	tb := New(make([]byte, n*BucketSize), make([]byte, 1<<26), n)
+	for i := 0; i < n*fill/100; i++ {
+		if err := tb.Insert(kv.FromUint64(uint64(i)), make([]byte, 32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func BenchmarkLookupAt75Percent(b *testing.B) {
+	tb := benchTable(b, 75)
+	keys := make([]kv.Key, 1024)
+	for i := range keys {
+		keys[i] = kv.FromUint64(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tb.Lookup(keys[i&1023]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	n := 1 << 18
+	tb := New(make([]byte, n*BucketSize), make([]byte, 1<<28), n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tb.Insert(kv.FromUint64(uint64(i)%uint64(n*6/10)), make([]byte, 32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseBucket(b *testing.B) {
+	tb := benchTable(b, 50)
+	key := kv.FromUint64(1)
+	idx := tb.BucketIndices(key)[0]
+	raw := tb.buckets[idx*BucketSize : (idx+1)*BucketSize]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParseBucket(raw)
+	}
+}

@@ -1,0 +1,60 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"herdkv/internal/kv"
+)
+
+// FuzzParseBucket hardens the client-side parser: Pilaf clients parse
+// raw bytes READ from remote memory, possibly torn by concurrent
+// writes, so the parser must never panic and must only accept
+// checksum-consistent buckets.
+func FuzzParseBucket(f *testing.F) {
+	f.Add(make([]byte, BucketSize))
+	f.Add(make([]byte, 3))
+	// A valid bucket as a seed.
+	tb := New(make([]byte, 64*BucketSize), make([]byte, 1<<12), 64)
+	tb.Insert(kv.FromUint64(1), []byte("seed"))
+	for i := 0; i < 64; i++ {
+		if tb.occupied(i) {
+			f.Add(append([]byte(nil), tb.rawBucket(i)...))
+			break
+		}
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		b, ok := ParseBucket(raw)
+		if !ok {
+			return
+		}
+		// Accepted buckets must be self-consistent: re-serializing the
+		// parsed header must reproduce the checksum.
+		if len(raw) < BucketSize {
+			t.Fatal("accepted short bucket")
+		}
+		if !b.Occupied {
+			t.Fatal("accepted unoccupied bucket")
+		}
+	})
+}
+
+// FuzzVerifyExtentEntry ensures value verification never panics and
+// never accepts data inconsistent with the bucket's checksum.
+func FuzzVerifyExtentEntry(f *testing.F) {
+	f.Add([]byte("some extent bytes some extent bytes"), uint64(1), uint32(0), uint16(4), uint64(42))
+	f.Fuzz(func(t *testing.T, raw []byte, keyN uint64, ptr uint32, vlen uint16, sum uint64) {
+		key := kv.FromUint64(keyN)
+		b := Bucket{Frag: Frag(key), Ptr: ptr, VLen: vlen, Occupied: true, Sum2: sum}
+		v, ok := VerifyExtentEntry(raw, key, b)
+		if !ok {
+			return
+		}
+		if len(v) != int(vlen) {
+			t.Fatalf("accepted entry with wrong value length %d != %d", len(v), vlen)
+		}
+		// Accepted means the checksum matched the raw bytes.
+		if kv.Checksum64(raw[:EntryBytes(int(vlen))]) != sum {
+			t.Fatal("accepted entry with mismatched checksum")
+		}
+	})
+}

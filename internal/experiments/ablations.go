@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/sim"
+	"herdkv/internal/verbs"
+	"herdkv/internal/wire"
+)
+
+// The ablations quantify the design decisions DESIGN.md calls out, each
+// isolating one choice HERD makes and measuring what it buys.
+
+// AblationArchitecture compares the WRITE/SEND hybrid against the
+// SEND/SEND alternative of Section 5.5 across client counts: the hybrid
+// is faster at moderate scale but declines past the NIC's context reach,
+// while SEND/SEND trades ~4-5 Mops of peak for flat scaling.
+func AblationArchitecture(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "ablation-arch",
+		Title:   fmt.Sprintf("Request architecture vs client count (Mops) — %s", spec.Name),
+		Columns: []string{"clients", "WRITE/SEND (UC)", "SEND/SEND (UD)", "WRITE/SEND (DC)"},
+	}
+	saveW, saveS := Warmup, Span
+	if Span < 600*sim.Microsecond {
+		Span = 600 * sim.Microsecond
+	}
+	if Warmup < 200*sim.Microsecond {
+		Warmup = 200 * sim.Microsecond
+	}
+	defer func() { Warmup, Span = saveW, saveS }()
+	for _, nc := range []int{50, 150, 260, 400, 500} {
+		row := []string{fmt.Sprintf("%d", nc)}
+		for _, mode := range []struct{ send, dc bool }{{false, false}, {true, false}, {false, true}} {
+			cfg := defaultE2E(spec, SysHERD)
+			cfg.clients = nc
+			cfg.sendMode = mode.send
+			cfg.dcMode = mode.dc
+			row = append(row, cell(runE2E(cfg).Mops))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("SEND/SEND and DC keep no per-client state at the server NIC; DC keeps WRITE semantics (the Connect-IB fix the paper anticipates in Section 5.5)")
+	return t
+}
+
+// AblationInlineCutoff sweeps the response inline threshold: inlining
+// small responses is the difference between PIO-rate and DMA-rate
+// responses; inlining big ones wastes PIO bandwidth.
+func AblationInlineCutoff(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "ablation-inline",
+		Title:   fmt.Sprintf("Response inline cutoff (Mops) — %s", spec.Name),
+		Columns: []string{"cutoff", "SV=32", "SV=192"},
+	}
+	for _, cutoff := range []int{1, 64, 144, 256} {
+		row := []string{fmt.Sprintf("%d", cutoff)}
+		for _, sv := range []int{32, 192} {
+			cfg := defaultE2E(spec, SysHERD)
+			cfg.valueSize = sv
+			cfg.inlineCut = cutoff
+			row = append(row, cell(runE2E(cfg).Mops))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("the paper's default is 144 B on Apt: inline below it, DMA above")
+	return t
+}
+
+// AblationWindow sweeps the client window: deeper windows raise
+// throughput until the server saturates, then only add latency.
+func AblationWindow(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "ablation-window",
+		Title:   fmt.Sprintf("Client window size (48 B read-intensive, 51 clients) — %s", spec.Name),
+		Columns: []string{"window", "Mops", "mean_us"},
+	}
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		cfg := defaultE2E(spec, SysHERD)
+		cfg.window = w
+		r := runE2E(cfg)
+		t.AddRow(fmt.Sprintf("%d", w), cell(r.Mops), cell(r.Mean.Microseconds()))
+	}
+	return t
+}
+
+// AblationDoorbell measures doorbell batching: posting several WQEs per
+// doorbell replaces per-verb PIO with one NIC-side WQE fetch, raising
+// the outbound message rate well past the BlueFlame path's 64 B
+// write-combining limit — the standard next step after the paper's
+// optimization ladder.
+func AblationDoorbell(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "ablation-doorbell",
+		Title:   fmt.Sprintf("Doorbell batching: outbound 32 B inlined WRITEs (Mops) — %s", spec.Name),
+		Columns: []string{"batch", "Mops"},
+	}
+	for _, batch := range []int{1, 2, 4, 8, 16} {
+		t.AddRow(fmt.Sprintf("%d", batch), cell(doorbellMops(spec, batch)))
+	}
+	t.AddNote("batch=1 is the BlueFlame (PIO WQE) path the paper's microbenchmarks use")
+	t.AddNote("batched rates extrapolate beyond ConnectX-3's validated envelope; they model the mechanism, not that card's ceiling")
+	return t
+}
+
+func doorbellMops(spec cluster.Spec, batch int) float64 {
+	cl := cluster.New(spec, 1+clientMachines, 1)
+	srv := cl.Machine(0)
+	payload := make([]byte, 32)
+	var count uint64
+	for p := 0; p < inboundProcs; p++ {
+		m := cl.Machine(1 + p%clientMachines)
+		cliMR := m.Verbs.RegisterMR(4096)
+		sq := srv.Verbs.CreateQP(wire.UC)
+		cq := m.Verbs.CreateQP(wire.UC)
+		if err := verbs.Connect(sq, cq); err != nil {
+			panic(err)
+		}
+		var dones []func()
+		cliMR.Watch(0, 4096, func(off, n int) {
+			count++
+			if len(dones) > 0 {
+				d := dones[0]
+				dones = dones[1:]
+				d()
+			}
+		})
+		// Each pump slot posts a whole batch and completes when its last
+		// WRITE lands.
+		pump(inboundWindow/2, func(done func()) {
+			wrs := make([]verbs.SendWR, batch)
+			for j := range wrs {
+				wrs[j] = verbs.SendWR{
+					Verb: verbs.WRITE, Data: payload,
+					Remote: cliMR, RemoteOff: j * 64, Inline: true,
+				}
+			}
+			for j := 0; j < batch-1; j++ {
+				dones = append(dones, func() {})
+			}
+			dones = append(dones, done)
+			sq.PostSendBatch(wrs)
+		})
+	}
+	return measureMops(cl, &count)
+}
+
+// AblationPrefetch disables the request pipeline end to end: Figure 7's
+// microbenchmark, replayed through the full system.
+func AblationPrefetch(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "ablation-prefetch",
+		Title:   fmt.Sprintf("Request pipeline prefetching, end to end (Mops) — %s", spec.Name),
+		Columns: []string{"cores", "no-prefetch", "prefetch"},
+	}
+	for _, cores := range []int{2, 4, 6} {
+		row := []string{fmt.Sprintf("%d", cores)}
+		for _, pf := range []bool{false, true} {
+			cfg := defaultE2E(spec, SysHERD)
+			cfg.cores = cores
+			cfg.noPrefetch = !pf
+			row = append(row, cell(runE2E(cfg).Mops))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

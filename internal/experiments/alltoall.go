@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/sim"
+	"herdkv/internal/verbs"
+	"herdkv/internal/wire"
+)
+
+// Fig6AllToAll reproduces Figure 6: all-to-all communication with N
+// client processes and N server processes, 32-byte inlined unsignaled
+// messages. Inbound WRITEs over UC scale; outbound WRITEs over UC
+// collapse as N*N queue pairs outgrow the server NIC's context cache;
+// outbound SENDs over UD scale because each server process needs only
+// one UD queue pair.
+func Fig6AllToAll(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "fig6",
+		Title:   fmt.Sprintf("All-to-all throughput (Mops), 32 B — %s", spec.Name),
+		Columns: []string{"N", "In-WRITE-UC", "Out-WRITE-UC", "Out-SEND-UD"},
+	}
+	for _, n := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16} {
+		in := allToAllMops(spec, n, "in-write")
+		outW := allToAllMops(spec, n, "out-write")
+		outS := allToAllMops(spec, n, "out-send")
+		t.AddRow(fmt.Sprintf("%d", n), cell(in), cell(outW), cell(outS))
+	}
+	t.AddNote("N*N UC queue pairs at the server for WRITE modes; N UD queue pairs for SEND mode")
+	return t
+}
+
+const allToAllWindow = 8
+
+func allToAllMops(spec cluster.Spec, n int, mode string) float64 {
+	cl := cluster.New(spec, 1+n, 1)
+	srv := cl.Machine(0)
+	rnd := sim.NewRand(7)
+	size := 32
+	payload := make([]byte, size)
+	var count uint64
+
+	switch mode {
+	case "in-write":
+		// Client proc i holds a UC QP to each server proc; each op picks
+		// a random server proc.
+		srvMR := srv.Verbs.RegisterMR(n * n * 64)
+		dones := make([][]func(), n*n)
+		srvMR.Watch(0, n*n*64, func(off, _ int) {
+			count++
+			s := off / 64
+			if len(dones[s]) > 0 {
+				d := dones[s][0]
+				dones[s] = dones[s][1:]
+				d()
+			}
+		})
+		for c := 0; c < n; c++ {
+			m := cl.Machine(1 + c)
+			qps := make([]*verbs.QP, n)
+			for s := 0; s < n; s++ {
+				qps[s] = m.Verbs.CreateQP(wire.UC)
+				sq := srv.Verbs.CreateQP(wire.UC)
+				if err := verbs.Connect(qps[s], sq); err != nil {
+					panic(err)
+				}
+			}
+			c := c
+			pump(allToAllWindow, func(done func()) {
+				s := rnd.Intn(n)
+				slot := s*n + c
+				dones[slot] = append(dones[slot], done)
+				qps[s].PostSend(verbs.SendWR{
+					Verb: verbs.WRITE, Data: payload,
+					Remote: srvMR, RemoteOff: slot * 64, Inline: true,
+				})
+			})
+		}
+
+	case "out-write":
+		// Server proc j holds a UC QP to each client; each op picks a
+		// random client. N*N send-side QPs at the server NIC.
+		cliMRs := make([]*verbs.MR, n)
+		dones := make([][]func(), n*n)
+		for c := 0; c < n; c++ {
+			c := c
+			cliMRs[c] = cl.Machine(1 + c).Verbs.RegisterMR(n * 64)
+			cliMRs[c].Watch(0, n*64, func(off, _ int) {
+				count++
+				s := off / 64
+				slot := s*n + c
+				if len(dones[slot]) > 0 {
+					d := dones[slot][0]
+					dones[slot] = dones[slot][1:]
+					d()
+				}
+			})
+		}
+		for s := 0; s < n; s++ {
+			qps := make([]*verbs.QP, n)
+			for c := 0; c < n; c++ {
+				qps[c] = srv.Verbs.CreateQP(wire.UC)
+				cq := cl.Machine(1 + c).Verbs.CreateQP(wire.UC)
+				if err := verbs.Connect(qps[c], cq); err != nil {
+					panic(err)
+				}
+			}
+			s := s
+			pump(allToAllWindow, func(done func()) {
+				c := rnd.Intn(n)
+				dones[s*n+c] = append(dones[s*n+c], done)
+				qps[c].PostSend(verbs.SendWR{
+					Verb: verbs.WRITE, Data: payload,
+					Remote: cliMRs[c], RemoteOff: s * 64, Inline: true,
+				})
+			})
+		}
+
+	case "out-send":
+		// Server proc j uses ONE UD QP for all clients (the datagram
+		// advantage); each op picks a random client.
+		cliQPs := make([]*verbs.QP, n)
+		dones := make([][]func(), n*n)
+		for c := 0; c < n; c++ {
+			c := c
+			m := cl.Machine(1 + c)
+			mr := m.Verbs.RegisterMR(1024)
+			cliQPs[c] = m.Verbs.CreateQP(wire.UD)
+			for w := 0; w < 4*allToAllWindow; w++ {
+				cliQPs[c].PostRecv(mr, 0, 1024, 0)
+			}
+			cliQPs[c].RecvCQ().SetHandler(func(comp verbs.Completion) {
+				count++
+				cliQPs[c].PostRecv(mr, 0, 1024, 0)
+				// Match the done by sender process (comp.SrcQPN is the
+				// server proc's UD QP number, allocated sequentially).
+				s := int(comp.SrcQPN) - 1
+				if s >= 0 && s < n {
+					slot := s*n + c
+					if len(dones[slot]) > 0 {
+						d := dones[slot][0]
+						dones[slot] = dones[slot][1:]
+						d()
+					}
+				}
+			})
+		}
+		for s := 0; s < n; s++ {
+			udQP := srv.Verbs.CreateQP(wire.UD)
+			s := s
+			pump(allToAllWindow, func(done func()) {
+				c := rnd.Intn(n)
+				dones[s*n+c] = append(dones[s*n+c], done)
+				udQP.PostSend(verbs.SendWR{
+					Verb: verbs.SEND, Data: payload, Dest: cliQPs[c], Inline: true,
+				})
+			})
+		}
+	}
+	return measureMops(cl, &count)
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+
+	"herdkv/internal/cluster"
+)
+
+func TestAnatomySumsAndShape(t *testing.T) {
+	tbl := LatencyAnatomy(cluster.Apt())
+	req := fval(t, row(t, tbl, "request leg (PIO+NIC+wire+DMA)")[1])
+	srv := fval(t, row(t, tbl, "server CPU (poll+MICA+post)")[1])
+	rsp := fval(t, row(t, tbl, "response leg (SEND+wire+RECV)")[1])
+	total := fval(t, row(t, tbl, "total")[1])
+
+	if sum := req + srv + rsp; sum < total*0.98 || sum > total*1.02 {
+		t.Fatalf("stages (%.2f) do not sum to total (%.2f)", sum, total)
+	}
+	// The network legs dominate; the server CPU is a small slice — the
+	// quantitative core of the paper's single-RTT argument.
+	if srv > 0.25*total {
+		t.Fatalf("server stage %.2f us is too large a share of %.2f us", srv, total)
+	}
+	if req < 0.3*total || rsp < 0.3*total {
+		t.Fatalf("network legs should dominate: req=%.2f rsp=%.2f total=%.2f", req, rsp, total)
+	}
+	if total < 1 || total > 4 {
+		t.Fatalf("idle GET total %.2f us outside the 1-4 us band", total)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/sim"
+	"herdkv/internal/workload"
+)
+
+// CPUUse reproduces the Section 5.6 analysis: HERD spends server CPU on
+// GETs in exchange for one round trip, but the READ-based designs are
+// not free either — their clients burn CPU issuing and polling multiple
+// READs per GET, and their servers still need polling/RECV cores for
+// PUTs. The table reports total busy CPU (server cores plus client-side
+// verb handling) per million operations for the read-intensive 48 B
+// workload.
+func CPUUse(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:    "cpuuse",
+		Title: fmt.Sprintf("Total CPU per million ops (core-ms), 48 B read-intensive — %s", spec.Name),
+		Columns: []string{
+			"system", "Mops", "server core-ms/Mop", "client core-ms/Mop", "total",
+		},
+	}
+	for _, sys := range AllSystems {
+		cfg := defaultE2E(spec, sys)
+		r := runCPUUse(cfg)
+		t.AddRow(sys, cell(r.mops), cell(r.serverMS), cell(r.clientMS), cell(r.serverMS+r.clientMS))
+	}
+	t.AddNote("client CPU counts post_send and completion-poll work per verb; server CPU is measured core busy time")
+	t.AddNote("provisioning must cover the PUT path even in read-heavy deployments (Section 5.6)")
+	return t
+}
+
+type cpuUseResult struct {
+	mops               float64
+	serverMS, clientMS float64
+}
+
+// clientVerbWork estimates client CPU per completed operation for each
+// system: posts (post_send ~ the paper's 150 ns each) plus completion
+// polling. Pilaf GETs issue 2.6 READs and poll each; FaRM-em-VAR issues
+// 2; HERD and FaRM-em issue 1.
+func clientVerbWork(sys string, p func() (post, poll sim.Time)) func(isGet bool) sim.Time {
+	post, poll := p()
+	return func(isGet bool) sim.Time {
+		switch {
+		case sys == SysPilaf && isGet:
+			// 1.6 bucket READs + 1 value READ on average.
+			return sim.Time(2.6 * float64(post+poll))
+		case sys == SysFaRMVar && isGet:
+			return 2 * (post + poll)
+		default:
+			return post + poll
+		}
+	}
+}
+
+func runCPUUse(cfg e2eConfig) cpuUseResult {
+	cl, clients, _ := buildSystem(cfg)
+
+	serverCPU := cl.Machine(0).CPU
+	perOp := clientVerbWork(cfg.system, func() (sim.Time, sim.Time) {
+		p := cfg.spec.Host
+		return p.PostSend, p.PollCheck
+	})
+
+	var completed uint64
+	var clientBusy sim.Time
+	// Closed-loop clients over the standard generator.
+	stagger := 40 * sim.Microsecond / sim.Time(len(clients)+1)
+	for i, c := range clients {
+		i, c := i, c
+		gen := newGenFor(cfg, i)
+		issue := func(done func()) {
+			op := gen.Next()
+			if op.IsGet {
+				c.doGet(op.Key, func(bool, []byte, sim.Time) {
+					completed++
+					clientBusy += perOp(true)
+					done()
+				})
+			} else {
+				c.doPut(op.Key, valFor(cfg, op), func(bool, sim.Time) {
+					completed++
+					clientBusy += perOp(false)
+					done()
+				})
+			}
+		}
+		cl.Eng.At(sim.Time(i)*stagger, func() { pump(cfg.window, issue) })
+	}
+
+	cl.Eng.RunFor(Warmup)
+	startOps := completed
+	startBusy := serverBusy(serverCPU, cfg.cores)
+	startClient := clientBusy
+	cl.Eng.RunFor(Span)
+
+	ops := completed - startOps
+	if ops == 0 {
+		return cpuUseResult{}
+	}
+	srvBusy := serverBusy(serverCPU, cfg.cores) - startBusy
+	cliBusy := clientBusy - startClient
+	perMop := func(busy sim.Time) float64 {
+		// core-ms per million ops.
+		return busy.Seconds() * 1000 / (float64(ops) / 1e6)
+	}
+	return cpuUseResult{
+		mops:     float64(ops) / Span.Seconds() / 1e6,
+		serverMS: perMop(srvBusy),
+		clientMS: perMop(cliBusy),
+	}
+}
+
+func serverBusy(cpu interface{ Core(int) *sim.Server }, cores int) sim.Time {
+	var total sim.Time
+	for i := 0; i < cores; i++ {
+		total += cpu.Core(i).BusyTime()
+	}
+	return total
+}
+
+// newGenFor builds client i's workload generator under cfg.
+func newGenFor(cfg e2eConfig, i int) *workload.Generator {
+	return workload.NewGenerator(workload.Config{
+		GetFraction: cfg.getFraction,
+		Keys:        cfg.keys,
+		ZipfTheta:   ternary(cfg.zipf, 0.99, 0),
+		ValueSize:   cfg.valueSize,
+		Seed:        cfg.seed + int64(i)*1000,
+	})
+}
+
+// valFor returns the deterministic value written for op's key.
+func valFor(cfg e2eConfig, op workload.Op) []byte {
+	return workload.ExpectedValue(op.Key, cfg.valueSize)
+}

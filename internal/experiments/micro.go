@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/sim"
+	"herdkv/internal/verbs"
+	"herdkv/internal/wire"
+)
+
+var payloadSizes = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Fig2Latency reproduces Figure 2: average latency of WR-INLINE, WRITE,
+// READ (signaled, over RC) and ECHO (inlined unsignaled WRITEs over UC)
+// across payload sizes. Inline-dependent series stop at 256 B.
+func Fig2Latency(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "fig2",
+		Title:   fmt.Sprintf("Verb and ECHO latency (us) vs payload size — %s", spec.Name),
+		Columns: []string{"size", "WR-INLINE", "WRITE", "READ", "ECHO", "ECHO/2"},
+	}
+	reps := 64
+	for _, size := range payloadSizes {
+		wrInline, echo, half := "-", "-", "-"
+		if size <= 256 {
+			wrInline = cell(signaledVerbLatency(spec, verbs.WRITE, size, true, reps).Microseconds())
+			e := echoLatency(spec, size, reps)
+			echo = cell(e.Microseconds())
+			half = cell(e.Microseconds() / 2)
+		}
+		write := signaledVerbLatency(spec, verbs.WRITE, size, false, reps)
+		read := signaledVerbLatency(spec, verbs.READ, size, false, reps)
+		t.AddRow(fmt.Sprintf("%d", size), wrInline, cell(write.Microseconds()), cell(read.Microseconds()), echo, half)
+	}
+	t.AddNote("WR-INLINE and ECHO use inlined payloads (max 256 B); ECHO = two unsignaled inlined WRITEs over UC")
+	return t
+}
+
+// signaledVerbLatency measures one signaled verb's completion latency
+// over RC between two otherwise idle machines.
+func signaledVerbLatency(spec cluster.Spec, verb verbs.Verb, size int, inline bool, reps int) sim.Time {
+	cl := cluster.New(spec, 2, 1)
+	qa := cl.Machine(0).Verbs.CreateQP(wire.RC)
+	qb := cl.Machine(1).Verbs.CreateQP(wire.RC)
+	if err := verbs.Connect(qa, qb); err != nil {
+		panic(err)
+	}
+	remote := cl.Machine(1).Verbs.RegisterMR(2048)
+	local := cl.Machine(0).Verbs.RegisterMR(2048)
+	payload := make([]byte, size)
+
+	var lastDone func(sim.Time)
+	qa.SendCQ().SetHandler(func(c verbs.Completion) { lastDone(c.At) })
+
+	return meanLatencySerial(cl, reps, func(done func(sim.Time)) {
+		start := cl.Eng.Now()
+		lastDone = func(at sim.Time) { done(at - start) }
+		wr := verbs.SendWR{Verb: verb, Signaled: true}
+		if verb == verbs.READ {
+			wr.Remote, wr.Local, wr.Len = remote, local, size
+		} else {
+			wr.Data, wr.Remote, wr.Inline = payload, remote, inline
+		}
+		if err := qa.PostSend(wr); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// echoLatency measures a WRITE-based ECHO: the client WRITEs (inlined,
+// unsignaled, UC) into the server, an echo process WRITEs the payload
+// back, and the client observes its own memory.
+func echoLatency(spec cluster.Spec, size int, reps int) sim.Time {
+	cl := cluster.New(spec, 2, 1)
+	srv, cli := cl.Machine(0), cl.Machine(1)
+	cliQP := cli.Verbs.CreateQP(wire.UC)
+	srvQP := srv.Verbs.CreateQP(wire.UC)
+	if err := verbs.Connect(cliQP, srvQP); err != nil {
+		panic(err)
+	}
+	srvMR := srv.Verbs.RegisterMR(1024)
+	cliMR := cli.Verbs.RegisterMR(1024)
+	payload := make([]byte, size)
+
+	// Echo process: on request arrival, pay the CPU cost of detecting it
+	// and posting the reply, then WRITE the payload back.
+	p := srv.CPU.Params()
+	srvMR.Watch(0, 1024, func(off, n int) {
+		srv.CPU.Core(0).Submit(p.PollCheck+p.PostSend, func(sim.Time) {
+			srvQP.PostSend(verbs.SendWR{
+				Verb: verbs.WRITE, Data: srvMR.Bytes()[:size],
+				Remote: cliMR, Inline: true,
+			})
+		})
+	})
+
+	var onEcho func()
+	cliMR.Watch(0, 1024, func(off, n int) { onEcho() })
+
+	return meanLatencySerial(cl, reps, func(done func(sim.Time)) {
+		start := cl.Eng.Now()
+		onEcho = func() { done(cl.Eng.Now() - start) }
+		cliQP.PostSend(verbs.SendWR{Verb: verbs.WRITE, Data: payload, Remote: srvMR, Inline: true})
+	})
+}
+
+// Fig3Inbound reproduces Figure 3: cumulative throughput of inbound
+// verbs — many client processes issuing to one server machine.
+func Fig3Inbound(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "fig3",
+		Title:   fmt.Sprintf("Inbound verbs throughput (Mops) vs payload size — %s", spec.Name),
+		Columns: []string{"size", "WRITE-UC", "READ-RC", "WRITE-RC"},
+	}
+	for _, size := range payloadSizes {
+		wUC := inboundMops(spec, wire.UC, verbs.WRITE, size)
+		rRC := inboundMops(spec, wire.RC, verbs.READ, size)
+		wRC := inboundMops(spec, wire.RC, verbs.WRITE, size)
+		t.AddRow(fmt.Sprintf("%d", size), cell(wUC), cell(rRC), cell(wRC))
+	}
+	t.AddNote("16 client processes on 8 machines, window-gated; WRITEs inlined up to 256 B")
+	return t
+}
+
+const (
+	inboundProcs   = 16
+	clientMachines = 8
+	inboundWindow  = 16
+)
+
+// inboundMops drives many clients issuing `verb` at one server and
+// measures the server-side completion rate.
+func inboundMops(spec cluster.Spec, tr wire.Transport, verb verbs.Verb, size int) float64 {
+	cl := cluster.New(spec, 1+clientMachines, 1)
+	srv := cl.Machine(0)
+	srvMR := srv.Verbs.RegisterMR(inboundProcs * 1024)
+
+	var count uint64
+	procDone := make([][]func(), inboundProcs)
+	if verb == verbs.WRITE {
+		srvMR.Watch(0, inboundProcs*1024, func(off, n int) {
+			count++
+			p := off / 1024
+			if len(procDone[p]) > 0 {
+				d := procDone[p][0]
+				procDone[p] = procDone[p][1:]
+				d()
+			}
+		})
+	}
+
+	for p := 0; p < inboundProcs; p++ {
+		p := p
+		m := cl.Machine(1 + p%clientMachines)
+		cq := m.Verbs.CreateQP(tr)
+		sq := srv.Verbs.CreateQP(tr)
+		if err := verbs.Connect(cq, sq); err != nil {
+			panic(err)
+		}
+		local := m.Verbs.RegisterMR(2048)
+		payload := make([]byte, size)
+
+		if verb == verbs.READ {
+			var dones []func()
+			cq.SendCQ().SetHandler(func(verbs.Completion) {
+				count++
+				if len(dones) > 0 {
+					d := dones[0]
+					dones = dones[1:]
+					d()
+				}
+			})
+			pump(inboundWindow, func(done func()) {
+				dones = append(dones, done)
+				cq.PostSend(verbs.SendWR{
+					Verb: verbs.READ, Remote: srvMR, RemoteOff: p * 1024,
+					Local: local, Len: size, Signaled: true,
+				})
+			})
+			continue
+		}
+		pump(inboundWindow, func(done func()) {
+			procDone[p] = append(procDone[p], done)
+			cq.PostSend(verbs.SendWR{
+				Verb: verbs.WRITE, Data: payload,
+				Remote: srvMR, RemoteOff: p * 1024,
+				Inline: size <= 256,
+			})
+		})
+	}
+	return measureMops(cl, &count)
+}
+
+// Fig4Outbound reproduces Figure 4: throughput of outbound verbs issued
+// by one server machine to many clients.
+func Fig4Outbound(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "fig4",
+		Title:   fmt.Sprintf("Outbound verbs throughput (Mops) vs payload size — %s", spec.Name),
+		Columns: []string{"size", "WR-UC-INLINE", "SEND-UD", "WRITE-UC", "READ-RC"},
+	}
+	for _, size := range []int{0, 4, 16, 28, 32, 60, 64, 68, 128, 160, 192, 256} {
+		if size == 0 {
+			size = 2
+		}
+		wi := outboundMops(spec, "wr-inline", size)
+		sd := outboundMops(spec, "send-ud", size)
+		wu := outboundMops(spec, "wr", size)
+		rd := outboundMops(spec, "read", size)
+		t.AddRow(fmt.Sprintf("%d", size), cell(wi), cell(sd), cell(wu), cell(rd))
+	}
+	t.AddNote("16 server processes, one per client; write-combining steps appear at 64 B intervals")
+	return t
+}
+
+// outboundMops drives one server machine issuing to many clients.
+func outboundMops(spec cluster.Spec, kind string, size int) float64 {
+	cl := cluster.New(spec, 1+clientMachines, 1)
+	srv := cl.Machine(0)
+
+	var count uint64
+	for p := 0; p < inboundProcs; p++ {
+		m := cl.Machine(1 + p%clientMachines)
+		cliMR := m.Verbs.RegisterMR(4096)
+		payload := make([]byte, size)
+
+		switch kind {
+		case "wr-inline", "wr":
+			sq := srv.Verbs.CreateQP(wire.UC)
+			cq := m.Verbs.CreateQP(wire.UC)
+			if err := verbs.Connect(sq, cq); err != nil {
+				panic(err)
+			}
+			var dones []func()
+			cliMR.Watch(0, 4096, func(off, n int) {
+				count++
+				if len(dones) > 0 {
+					d := dones[0]
+					dones = dones[1:]
+					d()
+				}
+			})
+			inline := kind == "wr-inline" && size <= 256
+			pump(inboundWindow, func(done func()) {
+				dones = append(dones, done)
+				sq.PostSend(verbs.SendWR{Verb: verbs.WRITE, Data: payload, Remote: cliMR, Inline: inline})
+			})
+
+		case "send-ud":
+			sq := srv.Verbs.CreateQP(wire.UD)
+			cq := m.Verbs.CreateQP(wire.UD)
+			// Keep RECVs replenished.
+			for i := 0; i < 2*inboundWindow; i++ {
+				cq.PostRecv(cliMR, 0, 4096, 0)
+			}
+			var dones []func()
+			cq.RecvCQ().SetHandler(func(verbs.Completion) {
+				count++
+				cq.PostRecv(cliMR, 0, 4096, 0)
+				if len(dones) > 0 {
+					d := dones[0]
+					dones = dones[1:]
+					d()
+				}
+			})
+			pump(inboundWindow, func(done func()) {
+				dones = append(dones, done)
+				sq.PostSend(verbs.SendWR{Verb: verbs.SEND, Data: payload, Dest: cq, Inline: size <= 256})
+			})
+
+		case "read":
+			sq := srv.Verbs.CreateQP(wire.RC)
+			cq := m.Verbs.CreateQP(wire.RC)
+			if err := verbs.Connect(sq, cq); err != nil {
+				panic(err)
+			}
+			local := srv.Verbs.RegisterMR(4096)
+			n := size
+			if n == 0 {
+				n = 4
+			}
+			var dones []func()
+			sq.SendCQ().SetHandler(func(verbs.Completion) {
+				count++
+				if len(dones) > 0 {
+					d := dones[0]
+					dones = dones[1:]
+					d()
+				}
+			})
+			pump(inboundWindow, func(done func()) {
+				dones = append(dones, done)
+				sq.PostSend(verbs.SendWR{
+					Verb: verbs.READ, Remote: cliMR, Local: local, Len: n, Signaled: true,
+				})
+			})
+		}
+	}
+	return measureMops(cl, &count)
+}

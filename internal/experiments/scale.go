@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/sim"
+)
+
+// Fig12ClientScaling reproduces Figure 12: HERD throughput as the number
+// of client processes grows toward the full cluster, for window sizes 4
+// and 16. Throughput holds to roughly the NIC's receive-context reach
+// (~260 clients), then declines as inbound QP contexts start missing;
+// larger windows arrive in bursts that amortize the misses.
+func Fig12ClientScaling(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "fig12",
+		Title:   fmt.Sprintf("HERD throughput vs client processes — %s", spec.Name),
+		Columns: []string{"clients", "WS=4 (Mops)", "WS=16 (Mops)"},
+	}
+	// Hundreds of closed-loop clients make the system burst-synchronize;
+	// average over a longer steady-state window than the other figures
+	// so the oscillation washes out.
+	saveW, saveS := Warmup, Span
+	if Warmup < 250*sim.Microsecond {
+		Warmup = 250 * sim.Microsecond
+	}
+	if Span < 900*sim.Microsecond {
+		Span = 900 * sim.Microsecond
+	}
+	defer func() { Warmup, Span = saveW, saveS }()
+	for _, nc := range []int{50, 100, 150, 200, 260, 320, 400, 500} {
+		row := []string{fmt.Sprintf("%d", nc)}
+		for _, ws := range []int{4, 16} {
+			cfg := defaultE2E(spec, SysHERD)
+			cfg.clients = nc
+			cfg.perMachine = 3 // the paper spreads 3 processes per machine
+			cfg.window = ws
+			cfg.getFraction = 0.95
+			row = append(row, cell(runE2E(cfg).Mops))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("16 B keys, 32 B values; server NIC receive-context cache holds ~%d QP contexts", spec.NIC.RecvCtxCap)
+	return t
+}
+
+// Fig13CPUCores reproduces Figure 13: throughput as a function of server
+// CPU cores for a 100%-PUT 48 B workload. HERD does real key-value work;
+// the emulated systems handle only network traffic, and Pilaf-em-OPT
+// additionally pays RECV reposting per request.
+func Fig13CPUCores(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "fig13",
+		Title:   fmt.Sprintf("Throughput (Mops) vs server CPU cores, 48 B PUTs — %s", spec.Name),
+		Columns: []string{"cores", SysHERD, SysPilaf + " (PUT)", SysFaRM + " (PUT)"},
+	}
+	for cores := 1; cores <= 7; cores++ {
+		row := []string{fmt.Sprintf("%d", cores)}
+		for _, sys := range []string{SysHERD, SysPilaf, SysFaRM} {
+			cfg := defaultE2E(spec, sys)
+			cfg.cores = cores
+			cfg.getFraction = 0
+			row = append(row, cell(runE2E(cfg).Mops))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig14Skew reproduces Figure 14: HERD's per-core throughput under a
+// Zipf(.99) workload versus uniform, with 6 cores. EREW partitioning
+// plus the shared NIC keeps the most-loaded core within ~50% of the
+// least-loaded even though key popularity is skewed by orders of
+// magnitude.
+func Fig14Skew(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:      "fig14",
+		Title:   fmt.Sprintf("HERD per-core throughput (Mops), skewed vs uniform — %s", spec.Name),
+		Columns: []string{"core", "Zipf(.99)", "Uniform"},
+	}
+	results := make(map[bool][]float64)
+	var total = map[bool]float64{}
+	for _, zipf := range []bool{true, false} {
+		cfg := defaultE2E(spec, SysHERD)
+		cfg.zipf = zipf
+		cfg.keys = 1 << 20 // a large keyspace accentuates the skew
+		r := runE2E(cfg)
+		results[zipf] = r.PerCore
+		total[zipf] = r.Mops
+	}
+	for core := 0; core < len(results[true]); core++ {
+		t.AddRow(fmt.Sprintf("%d", core+1), cell(results[true][core]), cell(results[false][core]))
+	}
+	t.AddRow("total", cell(total[true]), cell(total[false]))
+	maxv, minv := 0.0, 1e18
+	for _, v := range results[true] {
+		if v > maxv {
+			maxv = v
+		}
+		if v < minv {
+			minv = v
+		}
+	}
+	if minv > 0 {
+		t.AddNote("Zipf most/least loaded core ratio: %.2fx", maxv/minv)
+	}
+	return t
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/core"
+	"herdkv/internal/farm"
+	"herdkv/internal/kv"
+	"herdkv/internal/mica"
+	"herdkv/internal/sim"
+	"herdkv/internal/workload"
+)
+
+// SymmetricStudy evaluates the deployment question Section 2.3 raises
+// but leaves open: symmetric FaRM (every machine both serves a shard
+// and drives load; aggregate READ capacity grows with the cluster)
+// versus client-server HERD (one dedicated server; the other machines
+// only drive load). For each total machine count it reports aggregate
+// read-intensive throughput and mean per-machine server-side CPU
+// utilization.
+func SymmetricStudy(spec cluster.Spec) *Table {
+	t := &Table{
+		ID:    "symmetric",
+		Title: fmt.Sprintf("Symmetric FaRM vs client-server HERD, 48 B read-intensive — %s", spec.Name),
+		Columns: []string{
+			"machines", "FaRM-sym Mops", "FaRM-sym srvCPU", "HERD Mops", "HERD srvCPU",
+		},
+	}
+	for _, n := range []int{4, 8, 12, 16} {
+		fm, fc := symmetricFarmPoint(spec, n)
+		hm, hc := herdPoint(spec, n)
+		t.AddRow(fmt.Sprintf("%d", n), cell(fm), fmt.Sprintf("%.0f%%", fc*100),
+			cell(hm), fmt.Sprintf("%.0f%%", hc*100))
+	}
+	t.AddNote("srvCPU: busy fraction of server-side cores, averaged over the machines that run them")
+	t.AddNote("symmetric aggregate grows with the cluster (every NIC serves READs); HERD is bound by its one server but spends those machines' cycles nowhere else")
+	return t
+}
+
+const symKeys = 16 * 1024
+
+// symmetricFarmPoint runs n symmetric machines, each also driving load.
+func symmetricFarmPoint(spec cluster.Spec, n int) (mops float64, srvCPU float64) {
+	cl := cluster.New(spec, n, 1)
+	cfg := farm.Config{
+		Mode: farm.InlineMode, Buckets: symKeys * 4, ValueSize: 32,
+		ExtentBytes: 1 << 22, H: 6, Cores: 2, Window: 4,
+	}
+	sym, err := farm.NewSymmetric(cl, n, cfg)
+	if err != nil {
+		panic(err)
+	}
+	for k := uint64(0); k < symKeys; k++ {
+		key := kv.FromUint64(k)
+		if err := sym.Preload(key, workload.ExpectedValue(key, 32)); err != nil {
+			panic(err)
+		}
+	}
+	var completed uint64
+	for m := 0; m < n; m++ {
+		m := m
+		gen := workload.NewGenerator(workload.ReadIntensive(symKeys, 32, int64(m+1)))
+		pump(4, func(done func()) {
+			op := gen.Next()
+			if op.IsGet {
+				sym.Get(m, op.Key, func(farm.Result) { completed++; done() })
+			} else {
+				sym.Put(m, op.Key, workload.ExpectedValue(op.Key, 32),
+					func(farm.Result) { completed++; done() })
+			}
+		})
+	}
+	cl.Eng.RunFor(Warmup)
+	start := completed
+	startBusy := make([]sim.Time, n)
+	for m := 0; m < n; m++ {
+		startBusy[m] = machineServerBusy(cl, m, cfg.Cores)
+	}
+	cl.Eng.RunFor(Span)
+	var busy sim.Time
+	for m := 0; m < n; m++ {
+		busy += machineServerBusy(cl, m, cfg.Cores) - startBusy[m]
+	}
+	mops = float64(completed-start) / Span.Seconds() / 1e6
+	srvCPU = float64(busy) / float64(Span) / float64(n*cfg.Cores)
+	return mops, srvCPU
+}
+
+func machineServerBusy(cl *cluster.Cluster, m, cores int) sim.Time {
+	var total sim.Time
+	for c := 0; c < cores; c++ {
+		total += cl.Machine(m).CPU.Core(c).BusyTime()
+	}
+	return total
+}
+
+// herdPoint runs client-server HERD on the same machine budget: one
+// server plus n-1 client machines (3 client processes each).
+func herdPoint(spec cluster.Spec, n int) (mops float64, srvCPU float64) {
+	cl := cluster.New(spec, n, 1)
+	nClients := (n - 1) * 3
+	hcfg := core.DefaultConfig()
+	hcfg.NS = 6
+	hcfg.MaxClients = nClients
+	hcfg.Mica = mica.Config{IndexBuckets: symKeys / 4, BucketSlots: 8, LogBytes: symKeys * 64}
+	srv, err := core.NewServer(cl.Machine(0), hcfg)
+	if err != nil {
+		panic(err)
+	}
+	for k := uint64(0); k < symKeys; k++ {
+		key := kv.FromUint64(k)
+		if err := srv.Preload(key, workload.ExpectedValue(key, 32)); err != nil {
+			panic(err)
+		}
+	}
+	var completed uint64
+	for i := 0; i < nClients; i++ {
+		c, err := srv.ConnectClient(cl.Machine(1 + i/3))
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.NewGenerator(workload.ReadIntensive(symKeys, 32, int64(i+1)))
+		pump(hcfg.Window, func(done func()) {
+			op := gen.Next()
+			if op.IsGet {
+				c.Get(op.Key, func(core.Result) { completed++; done() })
+			} else {
+				c.Put(op.Key, workload.ExpectedValue(op.Key, 32),
+					func(core.Result) { completed++; done() })
+			}
+		})
+	}
+	cl.Eng.RunFor(Warmup)
+	start := completed
+	startBusy := machineServerBusy(cl, 0, hcfg.NS)
+	cl.Eng.RunFor(Span)
+	busy := machineServerBusy(cl, 0, hcfg.NS) - startBusy
+	mops = float64(completed-start) / Span.Seconds() / 1e6
+	srvCPU = float64(busy) / float64(Span) / float64(hcfg.NS)
+	return mops, srvCPU
+}

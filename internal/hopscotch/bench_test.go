@@ -1,0 +1,58 @@
+package hopscotch
+
+import (
+	"testing"
+
+	"herdkv/internal/kv"
+)
+
+func benchInline(b *testing.B) *Table {
+	b.Helper()
+	n := 1 << 16
+	tb := NewInline(make([]byte, (n+DefaultH)*(kv.KeySize+32)), n, 32, DefaultH)
+	for i := 0; i < n*40/100; i++ {
+		if err := tb.Insert(kv.FromUint64(uint64(i)), make([]byte, 32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func BenchmarkLookupInline(b *testing.B) {
+	tb := benchInline(b)
+	keys := make([]kv.Key, 1024)
+	for i := range keys {
+		keys[i] = kv.FromUint64(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tb.Lookup(keys[i&1023]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkInsertInline(b *testing.B) {
+	n := 1 << 18
+	tb := NewInline(make([]byte, (n+DefaultH)*(kv.KeySize+32)), n, 32, DefaultH)
+	val := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tb.Insert(kv.FromUint64(uint64(i)%uint64(n*35/100)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseNeighborhood(b *testing.B) {
+	tb := benchInline(b)
+	key := kv.FromUint64(1)
+	off, n := tb.NeighborhoodOffset(key)
+	raw := tb.mem[off : off+n]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ParseNeighborhoodInline(raw, key, 32); !ok {
+			b.Fatal("parse miss")
+		}
+	}
+}

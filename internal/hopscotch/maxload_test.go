@@ -1,0 +1,32 @@
+package hopscotch
+
+import (
+	"testing"
+
+	"herdkv/internal/kv"
+)
+
+// TestAchievableLoad documents the capacity envelope of H=6 single-slot
+// hopscotch: at least 40% load must always be reachable (our FaRM-em
+// experiments run at or below this), and failure beyond that must be a
+// clean ErrTableFull.
+func TestAchievableLoad(t *testing.T) {
+	for trial := uint64(0); trial < 5; trial++ {
+		n := 2048
+		tb := NewInline(make([]byte, (n+DefaultH)*(kv.KeySize+32)), n, 32, DefaultH)
+		filled := 0
+		for i := 0; i < n; i++ {
+			err := tb.Insert(kv.FromUint64(uint64(i)+trial*1000000), make([]byte, 32))
+			if err == ErrTableFull {
+				break
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			filled++
+		}
+		if load := float64(filled) / float64(n); load < 0.40 {
+			t.Fatalf("trial %d: achievable load %.2f below 0.40", trial, load)
+		}
+	}
+}

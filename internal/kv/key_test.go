@@ -1,0 +1,87 @@
+package kv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromUint64NeverZero(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		if FromUint64(i).IsZero() {
+			t.Fatalf("FromUint64(%d) is zero", i)
+		}
+	}
+}
+
+func TestFromUint64Distinct(t *testing.T) {
+	seen := make(map[Key]bool)
+	for i := uint64(0); i < 10000; i++ {
+		k := FromUint64(i)
+		if seen[k] {
+			t.Fatalf("duplicate key at %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestHash64SeedsOrthogonal(t *testing.T) {
+	// Different seeds must behave as independent hash functions: the
+	// probability two keys collide under both seeds should be tiny.
+	both := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		k := FromUint64(uint64(i))
+		h1 := k.Hash64(1) % 97
+		h2 := k.Hash64(2) % 97
+		k2 := FromUint64(uint64(i + n))
+		if k2.Hash64(1)%97 == h1 && k2.Hash64(2)%97 == h2 {
+			both++
+		}
+	}
+	// Expected collisions-under-both: n/97^2 ~ 2.1.
+	if both > 20 {
+		t.Fatalf("seeds not orthogonal: %d double collisions", both)
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	f := func(a, b uint64) bool {
+		k := FromUint64(a)
+		return k.Hash64(b) == k.Hash64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	data := []byte("pilaf self-verifying bucket")
+	c := Checksum64(data)
+	for i := range data {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x40
+		if Checksum64(corrupt) == c {
+			t.Fatalf("flip at byte %d undetected", i)
+		}
+	}
+}
+
+func TestChecksumLengthSensitive(t *testing.T) {
+	if Checksum64([]byte{}) == Checksum64([]byte{0}) {
+		t.Fatal("checksum ignores trailing zero byte")
+	}
+}
+
+func TestHash64Uniformity(t *testing.T) {
+	// Chi-square-ish sanity: 64 bins, 64k keys => ~1024 per bin.
+	bins := make([]int, 64)
+	n := 65536
+	for i := 0; i < n; i++ {
+		bins[FromUint64(uint64(i)).Hash64(7)%64]++
+	}
+	for b, c := range bins {
+		if c < 850 || c > 1200 {
+			t.Fatalf("bin %d has %d, want ~1024", b, c)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package mica
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func storeConfig() Config {
+	return Config{IndexBuckets: 1 << 10, BucketSlots: 8, LogBytes: 1 << 20, Mode: StoreMode}
+}
+
+func TestStoreModeBasics(t *testing.T) {
+	c := New(storeConfig())
+	k := keyOf(1)
+	if err := c.Put(k, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Get(k)
+	if !ok || string(v) != "durable" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestStoreModeNeverEvictsFromIndex(t *testing.T) {
+	// A single bucket with 2 slots: the third distinct key must be
+	// rejected, and the first two stay intact.
+	cfg := Config{IndexBuckets: 1, BucketSlots: 2, LogBytes: 1 << 20, Mode: StoreMode}
+	c := New(cfg)
+	if err := c.Put(keyOf(1), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(keyOf(2), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(keyOf(3), []byte("c")); err != ErrIndexFull {
+		t.Fatalf("third key: err = %v, want ErrIndexFull", err)
+	}
+	for i, want := range []string{"a", "b"} {
+		v, ok := c.Get(keyOf(uint64(i + 1)))
+		if !ok || string(v) != want {
+			t.Fatalf("key %d lost after rejected insert", i+1)
+		}
+	}
+	// Updates to resident keys still work on a full bucket.
+	if err := c.Put(keyOf(1), []byte("a2")); err != nil {
+		t.Fatalf("update on full bucket: %v", err)
+	}
+}
+
+func TestStoreModeLogFull(t *testing.T) {
+	cfg := Config{IndexBuckets: 1 << 10, BucketSlots: 8,
+		LogBytes: 6 * (entryHeader + MaxValueSize), Mode: StoreMode}
+	c := New(cfg)
+	var sawFull bool
+	stored := []uint64{}
+	for i := uint64(1); i < 32; i++ {
+		err := c.Put(keyOf(i), make([]byte, MaxValueSize))
+		if err == ErrLogFull {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored = append(stored, i)
+	}
+	if !sawFull {
+		t.Fatal("log never reported full")
+	}
+	// Everything acknowledged is still readable and correct.
+	for _, i := range stored {
+		if _, ok := c.Get(keyOf(i)); !ok {
+			t.Fatalf("acknowledged key %d lost in store mode", i)
+		}
+	}
+}
+
+func TestStoreModeFailedPutBurnsNoIndexSlot(t *testing.T) {
+	cfg := Config{IndexBuckets: 1, BucketSlots: 1, LogBytes: 1 << 20, Mode: StoreMode}
+	c := New(cfg)
+	c.Put(keyOf(1), []byte("x"))
+	for i := uint64(2); i < 10; i++ {
+		if err := c.Put(keyOf(i), []byte("y")); err != ErrIndexFull {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if v, ok := c.Get(keyOf(1)); !ok || string(v) != "x" {
+		t.Fatal("resident key damaged by rejected inserts")
+	}
+}
+
+// Property: in store mode, every acknowledged PUT remains readable with
+// its latest value until deleted — no lossiness allowed.
+func TestStoreModeDurabilityProperty(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		c := New(Config{IndexBuckets: 64, BucketSlots: 4, LogBytes: 1 << 16, Mode: StoreMode})
+		model := make(map[Key][]byte)
+		for _, op := range ops {
+			k := keyOf(uint64(op%50) + 1)
+			switch rnd.Intn(3) {
+			case 0:
+				v := []byte(fmt.Sprintf("v%d", rnd.Intn(100)))
+				if err := c.Put(k, v); err == nil {
+					model[k] = v
+				}
+			case 1:
+				got, ok := c.Get(k)
+				want, in := model[k]
+				if in != ok {
+					return false // store mode may not lose keys
+				}
+				if ok && !bytes.Equal(got, want) {
+					return false
+				}
+			case 2:
+				c.Delete(k)
+				delete(model, k)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheModeStillDefault(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.Config().Mode != CacheMode {
+		t.Fatal("default mode should be cache")
+	}
+}

@@ -1,0 +1,65 @@
+package nic
+
+import "container/list"
+
+// ContextCache is an LRU cache of queue-pair contexts, modeling the
+// RNIC's small on-chip SRAM (Section 3.3). Each verb posted on (or
+// arriving for) a QP must have that QP's context on chip; a miss forces a
+// PCIe fetch from host memory.
+//
+// Requester-side send contexts are large (WQE scheduling state), so few
+// fit; responder-side receive contexts are small, so many more fit —
+// which is exactly why inbound WRITEs scale to hundreds of clients while
+// outbound WRITEs collapse (Figure 6).
+type ContextCache struct {
+	cap    int
+	ll     *list.List
+	byKey  map[uint64]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+// NewContextCache returns a cache holding up to capacity contexts.
+// A capacity <= 0 means unbounded (never misses after first touch).
+func NewContextCache(capacity int) *ContextCache {
+	return &ContextCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[uint64]*list.Element),
+	}
+}
+
+// Touch records an access to the context for key and reports whether it
+// was resident (true = hit). On a miss the context is fetched and the
+// least recently used entry evicted if the cache is full.
+func (c *ContextCache) Touch(key uint64) bool {
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	if c.cap > 0 && c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(uint64))
+	}
+	c.byKey[key] = c.ll.PushFront(key)
+	return false
+}
+
+// Len returns the number of resident contexts.
+func (c *ContextCache) Len() int { return c.ll.Len() }
+
+// Hits and Misses report access statistics.
+func (c *ContextCache) Hits() uint64   { return c.hits }
+func (c *ContextCache) Misses() uint64 { return c.misses }
+
+// HitRate returns hits / accesses, or 1 if there were no accesses.
+func (c *ContextCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 1
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,97 @@
+// Package nic models an RDMA NIC (RNIC): its processing-unit pool, queue-
+// pair context cache, and attachment to the host PCIe bus and the fabric.
+//
+// The verbs protocol flows themselves live in package verbs; this package
+// provides the device resources those flows consume, with service times
+// calibrated to ConnectX-3 (see Params).
+package nic
+
+import (
+	"herdkv/internal/pcie"
+	"herdkv/internal/sim"
+	"herdkv/internal/wire"
+)
+
+// NIC is one host's RDMA NIC.
+type NIC struct {
+	eng  *sim.Engine
+	p    Params
+	bus  *pcie.Bus
+	net  *wire.Network
+	node wire.NodeID
+
+	pu      *sim.Server
+	sendCtx *ContextCache
+	recvCtx *ContextCache
+}
+
+// New attaches a NIC with parameters p to bus and fabric node.
+func New(eng *sim.Engine, p Params, bus *pcie.Bus, net *wire.Network, node wire.NodeID) *NIC {
+	net.AddNode(node)
+	return &NIC{
+		eng:     eng,
+		p:       p,
+		bus:     bus,
+		net:     net,
+		node:    node,
+		pu:      sim.NewServer(eng, 1),
+		sendCtx: NewContextCache(p.SendCtxCap),
+		recvCtx: NewContextCache(p.RecvCtxCap),
+	}
+}
+
+// Engine returns the simulation engine.
+func (n *NIC) Engine() *sim.Engine { return n.eng }
+
+// Params returns the device parameters.
+func (n *NIC) Params() Params { return n.p }
+
+// Bus returns the host PCIe bus.
+func (n *NIC) Bus() *pcie.Bus { return n.bus }
+
+// Net returns the fabric.
+func (n *NIC) Net() *wire.Network { return n.net }
+
+// Node returns this NIC's fabric address.
+func (n *NIC) Node() wire.NodeID { return n.node }
+
+// PU submits work to the processing-unit pool; done (if non-nil) runs at
+// completion.
+func (n *NIC) PU(work sim.Time, done func(sim.Time)) {
+	n.pu.Submit(work, done)
+}
+
+// PUUtilization reports processing-unit utilization so far.
+func (n *NIC) PUUtilization() float64 { return n.pu.Utilization() }
+
+// TouchSendCtx records a requester-side context access for qpn and
+// returns the PU stall and added latency it causes (zero on a hit).
+func (n *NIC) TouchSendCtx(qpn uint64) (puExtra, latExtra sim.Time) {
+	if n.sendCtx.Touch(qpn) {
+		return 0, 0
+	}
+	return n.p.CtxMissPU, n.p.CtxMissLat
+}
+
+// TouchRecvCtx records a responder-side context access for qpn and
+// returns the PU stall and added latency it causes (zero on a hit).
+func (n *NIC) TouchRecvCtx(qpn uint64) (puExtra, latExtra sim.Time) {
+	if n.recvCtx.Touch(qpn) {
+		return 0, 0
+	}
+	return n.p.CtxMissPU, n.p.CtxMissLat
+}
+
+// SendCtxHitRate and RecvCtxHitRate expose cache statistics.
+func (n *NIC) SendCtxHitRate() float64 { return n.sendCtx.HitRate() }
+func (n *NIC) RecvCtxHitRate() float64 { return n.recvCtx.HitRate() }
+
+// WQEBytes returns the PIO footprint of a WQE on transport t carrying
+// inline bytes of payload (zero if not inlined).
+func (n *NIC) WQEBytes(t wire.Transport, inline int) int {
+	base := n.p.WQEBaseRC
+	if t == wire.UD {
+		base = n.p.WQEBaseUD
+	}
+	return base + inline
+}

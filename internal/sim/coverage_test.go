@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+func TestTimeNanoseconds(t *testing.T) {
+	if (1500 * Picosecond).Nanoseconds() != 1.5 {
+		t.Fatalf("1500ps = %v ns", (1500 * Picosecond).Nanoseconds())
+	}
+}
+
+func TestRandHelpers(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 100; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	p := r.Perm(8)
+	seen := make([]bool, 8)
+	for _, v := range p {
+		if v < 0 || v >= 8 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestServerUnitsAndMultiUnitScan(t *testing.T) {
+	e := New()
+	s := NewServer(e, 3)
+	if s.Units() != 3 {
+		t.Fatalf("Units = %d", s.Units())
+	}
+	// Exercise the earliest-unit scan with uneven schedules.
+	s.Submit(30*Nanosecond, nil)
+	s.Submit(10*Nanosecond, nil)
+	s.Submit(20*Nanosecond, nil)
+	// Unit freeing at 10ns should take the next job.
+	end := s.Submit(5*Nanosecond, nil)
+	if end != 15*Nanosecond {
+		t.Fatalf("4th job ends at %v, want 15ns", end)
+	}
+	if nf := s.NextFree(); nf != 15*Nanosecond {
+		t.Fatalf("NextFree = %v, want 15ns", nf)
+	}
+	if bl := s.Backlog(); bl != 30*Nanosecond {
+		t.Fatalf("Backlog = %v, want 30ns", bl)
+	}
+	if u := s.Utilization(); u != 0 {
+		t.Fatalf("utilization at t=0 should be 0, got %v", u)
+	}
+}

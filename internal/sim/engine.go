@@ -1,0 +1,130 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock (picosecond resolution) through a
+// priority queue of events. Everything in the RDMA model — PCIe transfers,
+// NIC processing, wire serialization, CPU service — is expressed as events
+// and resources on a single engine, so experiment runs are exactly
+// reproducible for a given seed and parameter set.
+package sim
+
+import "container/heap"
+
+// Time is a point in virtual time, in picoseconds. Picosecond resolution
+// keeps sub-nanosecond service times (e.g. 28.6 ns per inbound WRITE at
+// 35 Mops) exact over billions of operations.
+type Time int64
+
+// Duration constants for virtual time.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as a float64 nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds reports t as a float64 microsecond count.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// NS converts a nanosecond count to a Time.
+func NS(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use. Engines are not safe for concurrent use; the entire model
+// runs on one goroutine.
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+	ran  uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have run so far.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Pending reports how many events are scheduled but not yet run.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) runs the event at the current time instead; events at equal
+// times run in scheduling order.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the earliest pending event, advancing the clock to it.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// clock to deadline. Events scheduled beyond the deadline stay pending.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

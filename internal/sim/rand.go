@@ -1,0 +1,34 @@
+package sim
+
+import "math/rand"
+
+// Rand is a deterministic random source for model components. It wraps
+// math/rand with an explicit seed so experiment runs are reproducible.
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Uint64 returns a pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.r.Uint64() }
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.r.Perm(n) }
+
+// DurationBetween returns a uniformly distributed Time in [lo, hi].
+func (r *Rand) DurationBetween(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(r.r.Int63n(int64(hi-lo)+1))
+}

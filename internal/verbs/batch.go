@@ -1,0 +1,115 @@
+package verbs
+
+import (
+	"herdkv/internal/sim"
+	"herdkv/internal/wire"
+)
+
+// PostSendBatch posts several work requests with a single doorbell.
+//
+// The single-verb path (PostSend) models BlueFlame-style posting: the
+// whole WQE crosses PCIe as write-combined PIO, minimizing latency. A
+// batch instead writes the WQEs into the host send queue, rings one
+// doorbell, and lets the NIC fetch all the WQEs with one DMA read —
+// trading one non-posted PCIe round trip of latency for a large
+// reduction in per-verb PIO cost. This is the standard message-rate
+// technique on mlx4/mlx5 hardware and the natural next optimization
+// after the paper's inlining/unsignaled ladder.
+//
+// Validation is atomic: if any work request is invalid, nothing is
+// posted and the offending error is returned.
+func (qp *QP) PostSendBatch(wrs []SendWR) error {
+	if len(wrs) == 0 {
+		return nil
+	}
+	if len(wrs) == 1 {
+		return qp.PostSend(wrs[0])
+	}
+
+	// Validate everything up front.
+	ops := make([]*sendOp, 0, len(wrs))
+	totalWQE := 0
+	for _, wr := range wrs {
+		op, err := qp.prepareOp(wr)
+		if err != nil {
+			return err
+		}
+		inlineBytes := 0
+		if op.inline {
+			inlineBytes = len(op.payload)
+		}
+		totalWQE += qp.host.nic.WQEBytes(qp.transport, inlineBytes)
+		ops = append(ops, op)
+	}
+	qp.opQueue = append(qp.opQueue, ops...)
+
+	n := qp.host.nic
+	// One doorbell (a single MMIO word), then the NIC pulls the WQEs.
+	n.Bus().PIOWrite(8, func(sim.Time) {
+		n.Bus().DMARead(totalWQE, func(sim.Time) {
+			pending := 0
+			for _, op := range ops {
+				op := op
+				if !op.inline && len(op.payload) > 0 {
+					pending++
+					n.Bus().DMARead(len(op.payload), func(sim.Time) {
+						op.ready = true
+						pending--
+						if pending == 0 {
+							qp.pump()
+						}
+					})
+					continue
+				}
+				op.ready = true
+			}
+			if pending == 0 {
+				qp.pump()
+			}
+		})
+	})
+	return nil
+}
+
+// prepareOp validates wr and builds its sendOp without posting it.
+func (qp *QP) prepareOp(wr SendWR) (*sendOp, error) {
+	if !Supports(qp.transport, wr.Verb) || wr.Verb == RECV {
+		return nil, ErrVerbNotSupported
+	}
+	var dst *QP
+	switch {
+	case qp.transport == wire.UD || qp.transport == wire.DC:
+		if wr.Dest == nil {
+			return nil, ErrNoDestination
+		}
+		dst = wr.Dest
+	default:
+		if qp.remote == nil {
+			return nil, ErrNotConnected
+		}
+		dst = qp.remote
+	}
+	var payload []byte
+	switch wr.Verb {
+	case WRITE, SEND:
+		if wr.Verb == WRITE {
+			if wr.Remote == nil || wr.RemoteOff < 0 || wr.RemoteOff+len(wr.Data) > wr.Remote.Len() {
+				return nil, ErrBounds
+			}
+		}
+		payload = make([]byte, len(wr.Data))
+		copy(payload, wr.Data)
+	case READ:
+		if wr.Remote == nil || wr.RemoteOff < 0 || wr.Len < 0 || wr.RemoteOff+wr.Len > wr.Remote.Len() {
+			return nil, ErrBounds
+		}
+		if wr.Local == nil || wr.LocalOff < 0 || wr.LocalOff+wr.Len > wr.Local.Len() {
+			return nil, ErrBounds
+		}
+	}
+	inline := wr.Inline && wr.Verb != READ
+	if inline && len(payload) > qp.host.nic.Params().InlineMax {
+		return nil, ErrInlineTooLarge
+	}
+	return &sendOp{wr: wr, payload: payload, dst: dst, inline: inline}, nil
+}

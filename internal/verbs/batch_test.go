@@ -1,0 +1,146 @@
+package verbs
+
+import (
+	"errors"
+	"testing"
+
+	"herdkv/internal/sim"
+	"herdkv/internal/wire"
+)
+
+func TestBatchMovesAllPayloads(t *testing.T) {
+	tb := newTestbed()
+	qa, _ := connectedPair(tb, wire.UC)
+	mr := tb.b.RegisterMR(1024)
+	var wrs []SendWR
+	for i := 0; i < 8; i++ {
+		wrs = append(wrs, SendWR{
+			Verb: WRITE, Data: []byte{byte(i + 1)}, Remote: mr, RemoteOff: i, Inline: true,
+		})
+	}
+	if err := qa.PostSendBatch(wrs); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Run()
+	for i := 0; i < 8; i++ {
+		if mr.Bytes()[i] != byte(i+1) {
+			t.Fatalf("write %d lost: % x", i, mr.Bytes()[:8])
+		}
+	}
+}
+
+func TestBatchPreservesOrder(t *testing.T) {
+	tb := newTestbed()
+	qa, _ := connectedPair(tb, wire.UC)
+	mr := tb.b.RegisterMR(64)
+	var order []byte
+	mr.Watch(0, 64, func(off, n int) { order = append(order, mr.Bytes()[off]) })
+	var wrs []SendWR
+	for i := 1; i <= 5; i++ {
+		wrs = append(wrs, SendWR{Verb: WRITE, Data: []byte{byte(i)}, Remote: mr, RemoteOff: i, Inline: true})
+	}
+	qa.PostSendBatch(wrs)
+	tb.eng.Run()
+	for i, v := range order {
+		if v != byte(i+1) {
+			t.Fatalf("batch delivered out of order: %v", order)
+		}
+	}
+}
+
+func TestBatchAtomicValidation(t *testing.T) {
+	tb := newTestbed()
+	qa, _ := connectedPair(tb, wire.UC)
+	mr := tb.b.RegisterMR(64)
+	wrs := []SendWR{
+		{Verb: WRITE, Data: []byte{1}, Remote: mr, Inline: true},
+		{Verb: READ, Remote: mr, Len: 8}, // READ on UC: invalid
+	}
+	if err := qa.PostSendBatch(wrs); !errors.Is(err, ErrVerbNotSupported) {
+		t.Fatalf("err = %v", err)
+	}
+	tb.eng.Run()
+	if mr.Bytes()[0] != 0 {
+		t.Fatal("invalid batch partially executed")
+	}
+}
+
+func TestBatchEmptyAndSingle(t *testing.T) {
+	tb := newTestbed()
+	qa, _ := connectedPair(tb, wire.UC)
+	mr := tb.b.RegisterMR(64)
+	if err := qa.PostSendBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSendBatch([]SendWR{{Verb: WRITE, Data: []byte{9}, Remote: mr, Inline: true}}); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Run()
+	if mr.Bytes()[0] != 9 {
+		t.Fatal("single-element batch did not execute")
+	}
+}
+
+func TestBatchRaisesThroughputAddsLatency(t *testing.T) {
+	// Batching amortizes PIO: higher message rate, but each batch eats a
+	// non-posted WQE fetch, so a lone op's latency grows.
+	run := func(batch int, nOps int) (rate float64, first sim.Time) {
+		tb := newTestbed()
+		qa, _ := connectedPair(tb, wire.UC)
+		mr := tb.b.RegisterMR(4096)
+		delivered := 0
+		mr.Watch(0, 4096, func(int, int) { delivered++ })
+		payload := make([]byte, 32)
+		for i := 0; i < nOps; i += batch {
+			var wrs []SendWR
+			for j := 0; j < batch; j++ {
+				wrs = append(wrs, SendWR{Verb: WRITE, Data: payload, Remote: mr, RemoteOff: (i + j) % 64 * 64, Inline: true})
+			}
+			qa.PostSendBatch(wrs)
+		}
+		var firstAt sim.Time
+		mr.Watch(0, 4096, func(int, int) {
+			if firstAt == 0 {
+				firstAt = tb.eng.Now()
+			}
+		})
+		tb.eng.Run()
+		if delivered != nOps {
+			t.Fatalf("delivered %d/%d", delivered, nOps)
+		}
+		return float64(nOps) / tb.eng.Now().Seconds() / 1e6, firstAt
+	}
+	soloRate, _ := run(1, 512)
+	batchRate, _ := run(8, 512)
+	if batchRate <= soloRate*1.2 {
+		t.Fatalf("batching should raise the message rate: %.1f vs %.1f Mops", batchRate, soloRate)
+	}
+	// Latency of the first op: batched path includes the WQE fetch RTT.
+	_, soloFirst := run(1, 8)
+	_, batchFirst := run(8, 8)
+	if batchFirst <= soloFirst {
+		t.Fatalf("batched first delivery (%v) should be later than solo (%v)", batchFirst, soloFirst)
+	}
+}
+
+func TestBatchWithNonInlinePayloads(t *testing.T) {
+	tb := newTestbed()
+	qa, _ := connectedPair(tb, wire.UC)
+	mr := tb.b.RegisterMR(4096)
+	big := make([]byte, 512)
+	for i := range big {
+		big[i] = 0x5a
+	}
+	wrs := []SendWR{
+		{Verb: WRITE, Data: big, Remote: mr, RemoteOff: 0},
+		{Verb: WRITE, Data: []byte{1}, Remote: mr, RemoteOff: 1024, Inline: true},
+		{Verb: WRITE, Data: big, Remote: mr, RemoteOff: 2048},
+	}
+	if err := qa.PostSendBatch(wrs); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Run()
+	if mr.Bytes()[0] != 0x5a || mr.Bytes()[1024] != 1 || mr.Bytes()[2048] != 0x5a {
+		t.Fatal("mixed batch payloads lost")
+	}
+}

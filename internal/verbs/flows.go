@@ -1,0 +1,337 @@
+package verbs
+
+import (
+	"fmt"
+
+	"herdkv/internal/sim"
+	"herdkv/internal/wire"
+)
+
+// sendOp is one posted work request moving through the requester-side
+// pipeline: PIO (doorbell + inline WQE) -> optional payload DMA fetch ->
+// NIC processing -> wire. Per-QP ordering is strict FIFO, and a QP with
+// ReadWindow outstanding READs stalls (the RNIC fences its send queue),
+// which is the paper's "each queue pair can only service a few
+// outstanding READ requests".
+type sendOp struct {
+	wr      SendWR
+	payload []byte
+	dst     *QP
+	inline  bool
+	ready   bool
+}
+
+// PostSend posts wr to the queue pair's send queue. Validation errors
+// are returned synchronously; the operation itself proceeds in virtual
+// time.
+func (qp *QP) PostSend(wr SendWR) error {
+	op, err := qp.prepareOp(wr)
+	if err != nil {
+		return fmt.Errorf("verbs: %v on %v: %w", wr.Verb, qp.transport, err)
+	}
+	qp.opQueue = append(qp.opQueue, op)
+
+	n := qp.host.nic
+	inlineBytes := 0
+	if op.inline {
+		inlineBytes = len(op.payload)
+	}
+	inline := op.inline
+	n.Bus().PIOWrite(n.WQEBytes(qp.transport, inlineBytes), func(sim.Time) {
+		if !inline && len(op.payload) > 0 {
+			// Payload fetched from host memory by DMA before transmit.
+			n.Bus().DMARead(len(op.payload), func(sim.Time) {
+				op.ready = true
+				qp.pump()
+			})
+			return
+		}
+		op.ready = true
+		qp.pump()
+	})
+	return nil
+}
+
+// pump issues ready head-of-queue operations in order, respecting the
+// READ window fence.
+func (qp *QP) pump() {
+	for len(qp.opQueue) > 0 {
+		op := qp.opQueue[0]
+		if !op.ready {
+			return
+		}
+		if op.wr.Verb == READ && qp.outstandingReads >= qp.host.nic.Params().ReadWindow {
+			return
+		}
+		qp.opQueue = qp.opQueue[1:]
+		if op.wr.Verb == READ {
+			qp.outstandingReads++
+		}
+		qp.issue(op)
+	}
+}
+
+// issue runs the NIC processing for op and hands it to the wire.
+func (qp *QP) issue(op *sendOp) {
+	n := qp.host.nic
+	p := n.Params()
+
+	puExtra, latExtra := n.TouchSendCtx(qp.globalKey())
+	work := puExtra
+	switch op.wr.Verb {
+	case READ:
+		work += p.TxReadReq
+	default:
+		work += p.TxWQE
+	}
+	if reliable(qp.transport) {
+		work += p.RCReqExtra
+	}
+	if qp.transport == wire.DC && op.dst != qp.lastDest {
+		// DC initiators re-target with an in-band connect handshake.
+		work += p.DCRetargetPU
+		qp.lastDest = op.dst
+	}
+	if !op.inline && len(op.payload) > 0 {
+		work += p.NonInlineExtra
+	}
+	// READ completion state is integral to the verb (the response drives
+	// it); SignaledExtra models the send-side CQE machinery that
+	// selective signaling elides for WRITE/SEND.
+	if op.wr.Signaled && op.wr.Verb != READ {
+		work += p.SignaledExtra
+	}
+
+	n.PU(work, func(sim.Time) {
+		qp.orderedAfter(&qp.txGate, latExtra, func() { qp.transmit(op) })
+	})
+}
+
+// orderedAfter schedules fn at now+delay, but never before the gate's
+// previous schedule; the gate advances so per-QP order is preserved even
+// when one verb stalls on a context fetch and the next does not.
+func (qp *QP) orderedAfter(gate *sim.Time, delay sim.Time, fn func()) {
+	eng := qp.host.eng
+	at := eng.Now() + delay
+	if at < *gate {
+		at = *gate
+	}
+	*gate = at
+	eng.At(at, fn)
+}
+
+func (qp *QP) transmit(op *sendOp) {
+	h := qp.host
+	n := h.nic
+	src, dstNode := n.Node(), op.dst.host.Node()
+	net := n.Net()
+
+	switch op.wr.Verb {
+	case WRITE:
+		dst := op.dst
+		srcQP := qp
+		wr := op.wr
+		net.Send(src, dstNode, qp.transport, len(op.payload), func(sim.Time) {
+			dst.deliverWrite(srcQP, op.payload, wr)
+		})
+		qp.localSendComplete(op)
+
+	case SEND:
+		dst := op.dst
+		srcQP := qp
+		net.Send(src, dstNode, qp.transport, len(op.payload), func(sim.Time) {
+			dst.deliverSend(srcQP, op.payload)
+		})
+		qp.localSendComplete(op)
+
+	case READ:
+		// READ requests carry only headers plus an RETH (16 B).
+		dst := op.dst
+		srcQP := qp
+		net.SendWire(src, dstNode, net.Params().Header(qp.transport)+16, func(sim.Time) {
+			dst.deliverReadRequest(srcQP, op)
+		})
+	}
+}
+
+// localSendComplete finishes the requester side of a WRITE or SEND. On
+// unreliable transports the verb completes as soon as it is on the wire;
+// on RC, completion waits for the responder's ACK.
+func (qp *QP) localSendComplete(op *sendOp) {
+	if reliable(qp.transport) {
+		qp.awaitingAck = append(qp.awaitingAck, pendingAck{wr: op.wr, bytes: len(op.payload)})
+		return
+	}
+	if op.wr.Signaled {
+		qp.signalCompletion(op.wr, len(op.payload))
+	}
+}
+
+// signalCompletion DMA-writes a CQE to host memory and pushes the
+// completion to the send CQ.
+func (qp *QP) signalCompletion(wr SendWR, bytes int) {
+	n := qp.host.nic
+	n.Bus().DMAWrite(n.Params().CQEBytes, func(at sim.Time) {
+		qp.sendCQ.push(Completion{
+			QPN: qp.qpn, WRID: wr.WRID, Verb: wr.Verb, Bytes: bytes, At: at,
+		})
+	})
+}
+
+// deliverWrite handles an inbound WRITE at the responder NIC: context
+// lookup, processing, DMA of the payload into the target region, and an
+// ACK if the transport is reliable. The responder CPU is not involved
+// (memory semantics) — except for WRITE-with-immediate, which also
+// consumes a RECV and raises a completion carrying the immediate.
+func (qp *QP) deliverWrite(src *QP, payload []byte, wr SendWR) {
+	n := qp.host.nic
+	p := n.Params()
+	target, off := wr.Remote, wr.RemoteOff
+	puExtra, latExtra := n.TouchRecvCtx(qp.recvCtxKey())
+	work := p.RxWrite + puExtra
+	if reliable(qp.transport) {
+		work += p.RCRespExtra
+	}
+	n.PU(work, func(sim.Time) {
+		fin := func() {
+			var rb recvBuf
+			if wr.HasImm {
+				var ok bool
+				rb, ok = qp.popRecv()
+				if !ok {
+					// No RECV: the whole message is dropped.
+					qp.droppedSends++
+					return
+				}
+			}
+			cqe := 0
+			if wr.HasImm {
+				cqe = p.CQEBytes
+			}
+			n.Bus().DMAWrite(len(payload)+cqe, func(at sim.Time) {
+				copy(target.buf[off:off+len(payload)], payload)
+				target.landed(off, len(payload))
+				if wr.HasImm {
+					qp.recvCQ.push(Completion{
+						QPN: qp.qpn, WRID: rb.wrid, Verb: RECV,
+						Bytes: len(payload), At: at,
+						SrcQPN: src.qpn, ImmDeliv: true, Imm: wr.Imm,
+					})
+				}
+			})
+			if reliable(qp.transport) {
+				qp.sendAck(src)
+			}
+		}
+		qp.orderedAfter(&qp.rxGate, latExtra, fin)
+	})
+}
+
+// deliverSend handles an inbound SEND: it consumes the head RECV, DMAs
+// payload and CQE to host memory, and completes on the recv CQ (channel
+// semantics — the responder CPU posted the RECV and will poll the CQE).
+func (qp *QP) deliverSend(src *QP, payload []byte) {
+	n := qp.host.nic
+	p := n.Params()
+	puExtra, latExtra := n.TouchRecvCtx(qp.recvCtxKey())
+	work := p.RxSend + puExtra
+	if reliable(qp.transport) {
+		work += p.RCRespExtra
+	}
+	n.PU(work, func(sim.Time) {
+		fin := func() {
+			rb, ok := qp.popRecv()
+			if !ok {
+				qp.droppedSends++
+				return
+			}
+			m := len(payload)
+			if m > rb.len {
+				m = rb.len
+			}
+			n.Bus().DMAWrite(m+p.CQEBytes, func(at sim.Time) {
+				copy(rb.mr.buf[rb.off:rb.off+m], payload[:m])
+				qp.recvCQ.push(Completion{
+					QPN: qp.qpn, WRID: rb.wrid, Verb: RECV, Bytes: m, At: at,
+					Data: rb.mr.buf[rb.off : rb.off+m], SrcQPN: src.qpn,
+				})
+			})
+			if reliable(qp.transport) {
+				qp.sendAck(src)
+			}
+		}
+		qp.orderedAfter(&qp.rxGate, latExtra, fin)
+	})
+}
+
+// deliverReadRequest services an inbound READ at the responder NIC: a
+// non-posted DMA read of the requested bytes from host memory, then the
+// response packet. Again no responder CPU involvement.
+func (qp *QP) deliverReadRequest(src *QP, op *sendOp) {
+	n := qp.host.nic
+	p := n.Params()
+	puExtra, latExtra := n.TouchRecvCtx(qp.recvCtxKey())
+	n.PU(p.RxReadReq+puExtra, func(sim.Time) {
+		fin := func() {
+			n.Bus().DMARead(op.wr.Len, func(sim.Time) {
+				data := make([]byte, op.wr.Len)
+				copy(data, op.wr.Remote.buf[op.wr.RemoteOff:op.wr.RemoteOff+op.wr.Len])
+				n.Net().Send(n.Node(), src.host.Node(), qp.transport, op.wr.Len, func(sim.Time) {
+					src.deliverReadResponse(op, data)
+				})
+			})
+		}
+		qp.orderedAfter(&qp.rxGate, latExtra, fin)
+	})
+}
+
+// deliverReadResponse lands READ data at the requester: processing, DMA
+// of payload (plus CQE if signaled) into the local region, completion,
+// and release of the READ window slot.
+func (qp *QP) deliverReadResponse(op *sendOp, data []byte) {
+	n := qp.host.nic
+	p := n.Params()
+	n.PU(p.RxReadResp, func(sim.Time) {
+		bytes := len(data)
+		if op.wr.Signaled {
+			bytes += p.CQEBytes
+		}
+		n.Bus().DMAWrite(bytes, func(at sim.Time) {
+			copy(op.wr.Local.buf[op.wr.LocalOff:op.wr.LocalOff+op.wr.Len], data)
+			if op.wr.Signaled {
+				qp.sendCQ.push(Completion{
+					QPN: qp.qpn, WRID: op.wr.WRID, Verb: READ, Bytes: op.wr.Len, At: at,
+				})
+			}
+			qp.outstandingReads--
+			qp.pump()
+		})
+	})
+}
+
+// sendAck emits an RC acknowledgement back to the requester.
+func (qp *QP) sendAck(src *QP) {
+	n := qp.host.nic
+	p := n.Params()
+	n.PU(p.TxAck, func(sim.Time) {
+		n.Net().SendWire(n.Node(), src.host.Node(), n.Net().Params().HdrAck, func(sim.Time) {
+			src.deliverAck()
+		})
+	})
+}
+
+// deliverAck completes the oldest un-ACKed RC WRITE/SEND at the
+// requester (RC delivers strictly in order).
+func (qp *QP) deliverAck() {
+	n := qp.host.nic
+	n.PU(n.Params().RxAck, func(sim.Time) {
+		if len(qp.awaitingAck) == 0 {
+			return
+		}
+		pa := qp.awaitingAck[0]
+		qp.awaitingAck = qp.awaitingAck[1:]
+		if pa.wr.Signaled {
+			qp.signalCompletion(pa.wr, pa.bytes)
+		}
+	})
+}

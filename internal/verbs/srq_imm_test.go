@@ -1,0 +1,119 @@
+package verbs
+
+import (
+	"bytes"
+	"testing"
+
+	"herdkv/internal/wire"
+)
+
+func TestSRQSharesRecvsAcrossQPs(t *testing.T) {
+	tb := newTestbed()
+	srq := tb.b.CreateSRQ()
+	buf := tb.b.RegisterMR(4096)
+	for i := 0; i < 4; i++ {
+		if err := srq.PostRecv(buf, i*64, 64, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qa1, qb1 := connectedPair(tb, wire.UC)
+	qa2, qb2 := connectedPair(tb, wire.UC)
+	qb1.AttachSRQ(srq)
+	qb2.AttachSRQ(srq)
+
+	var got []string
+	qb1.RecvCQ().SetHandler(func(c Completion) { got = append(got, "qp1:"+string(c.Data)) })
+	qb2.RecvCQ().SetHandler(func(c Completion) { got = append(got, "qp2:"+string(c.Data)) })
+
+	qa1.PostSend(SendWR{Verb: SEND, Data: []byte("a"), Inline: true})
+	qa2.PostSend(SendWR{Verb: SEND, Data: []byte("b"), Inline: true})
+	qa1.PostSend(SendWR{Verb: SEND, Data: []byte("c"), Inline: true})
+	tb.eng.Run()
+	if len(got) != 3 {
+		t.Fatalf("completions = %v", got)
+	}
+	if srq.Len() != 1 {
+		t.Fatalf("SRQ has %d RECVs left, want 1", srq.Len())
+	}
+	// Exhaust the pool: the fourth and fifth SENDs split one RECV.
+	qa1.PostSend(SendWR{Verb: SEND, Data: []byte("d"), Inline: true})
+	qa2.PostSend(SendWR{Verb: SEND, Data: []byte("e"), Inline: true})
+	tb.eng.Run()
+	if srq.Len() != 0 {
+		t.Fatal("SRQ not drained")
+	}
+	if qb1.DroppedSends()+qb2.DroppedSends() != 1 {
+		t.Fatalf("drops = %d, want 1 after pool exhaustion",
+			qb1.DroppedSends()+qb2.DroppedSends())
+	}
+}
+
+func TestSRQBounds(t *testing.T) {
+	tb := newTestbed()
+	srq := tb.b.CreateSRQ()
+	buf := tb.b.RegisterMR(64)
+	if err := srq.PostRecv(buf, 60, 8, 0); err != ErrBounds {
+		t.Fatalf("out-of-range SRQ recv: %v", err)
+	}
+}
+
+func TestWriteWithImm(t *testing.T) {
+	tb := newTestbed()
+	qa, qb := connectedPair(tb, wire.UC)
+	mr := tb.b.RegisterMR(1024)
+	recvArea := tb.b.RegisterMR(64)
+	qb.PostRecv(recvArea, 0, 64, 9)
+
+	var comp Completion
+	qb.RecvCQ().SetHandler(func(c Completion) { comp = c })
+
+	payload := []byte("write plus doorbell")
+	err := qa.PostSend(SendWR{
+		Verb: WRITE, Data: payload, Remote: mr, RemoteOff: 100,
+		Inline: true, HasImm: true, Imm: 0xfeedface,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Run()
+	// Payload landed at the WRITE target, not the RECV buffer.
+	if !bytes.Equal(mr.Bytes()[100:100+len(payload)], payload) {
+		t.Fatal("payload not written to the target region")
+	}
+	if comp.WRID != 9 || !comp.ImmDeliv || comp.Imm != 0xfeedface {
+		t.Fatalf("imm completion = %+v", comp)
+	}
+	if comp.Bytes != len(payload) {
+		t.Fatalf("completion bytes = %d", comp.Bytes)
+	}
+}
+
+func TestWriteWithImmNoRecvDropsWholeMessage(t *testing.T) {
+	tb := newTestbed()
+	qa, qb := connectedPair(tb, wire.UC)
+	mr := tb.b.RegisterMR(64)
+	qa.PostSend(SendWR{
+		Verb: WRITE, Data: []byte{0xAA}, Remote: mr, Inline: true, HasImm: true, Imm: 1,
+	})
+	tb.eng.Run()
+	if qb.DroppedSends() != 1 {
+		t.Fatalf("drops = %d, want 1", qb.DroppedSends())
+	}
+	if mr.Bytes()[0] != 0 {
+		t.Fatal("payload written despite missing RECV (message must drop whole)")
+	}
+}
+
+func TestPlainWriteUnaffectedByImmPlumbing(t *testing.T) {
+	tb := newTestbed()
+	qa, qb := connectedPair(tb, wire.UC)
+	mr := tb.b.RegisterMR(64)
+	qa.PostSend(SendWR{Verb: WRITE, Data: []byte{7}, Remote: mr, Inline: true})
+	tb.eng.Run()
+	if mr.Bytes()[0] != 7 {
+		t.Fatal("plain WRITE broken")
+	}
+	if qb.RecvCQ().Pending() != 0 {
+		t.Fatal("plain WRITE produced a recv completion")
+	}
+}

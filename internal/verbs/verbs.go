@@ -1,0 +1,379 @@
+// Package verbs implements the RDMA verbs interface over the simulated
+// RNIC, PCIe, and fabric models: queue pairs on RC/UC/UD transports,
+// memory regions, completion queues, and the READ / WRITE / SEND / RECV
+// verbs with inlining and selective signaling.
+//
+// The layer is functional as well as timed: WRITEs and SENDs move real
+// bytes between registered memory regions, READs return real remote
+// bytes, and completion events fire at the simulated instants the
+// hardware would produce them. Systems built on top (HERD, Pilaf-em,
+// FaRM-em) therefore run their actual protocols.
+package verbs
+
+import (
+	"errors"
+	"fmt"
+
+	"herdkv/internal/nic"
+	"herdkv/internal/sim"
+	"herdkv/internal/wire"
+)
+
+// Verb identifies an RDMA operation type.
+type Verb int
+
+// The verbs relevant to this work (Section 2.2.2), plus ATOMIC
+// (compare-and-swap / fetch-and-add), which the substrate supports for
+// completeness though no compared system uses it.
+const (
+	WRITE Verb = iota
+	READ
+	SEND
+	RECV
+	ATOMIC
+)
+
+// String returns the verb's conventional name.
+func (v Verb) String() string {
+	switch v {
+	case WRITE:
+		return "WRITE"
+	case READ:
+		return "READ"
+	case SEND:
+		return "SEND"
+	case RECV:
+		return "RECV"
+	case ATOMIC:
+		return "ATOMIC"
+	}
+	return "?"
+}
+
+// Errors returned by verb posting.
+var (
+	// ErrVerbNotSupported enforces Table 1: UC does not support READ,
+	// and UD supports neither READ nor WRITE.
+	ErrVerbNotSupported = errors.New("verbs: verb not supported on this transport")
+	// ErrInlineTooLarge rejects inline payloads above the device limit.
+	ErrInlineTooLarge = errors.New("verbs: inline payload exceeds device limit")
+	// ErrNotConnected is returned for connected-transport verbs on an
+	// unconnected QP.
+	ErrNotConnected = errors.New("verbs: queue pair not connected")
+	// ErrNoDestination is returned for UD SENDs without a destination.
+	ErrNoDestination = errors.New("verbs: UD SEND requires a destination QP")
+	// ErrBounds is returned when an access falls outside a memory region.
+	ErrBounds = errors.New("verbs: access outside memory region")
+)
+
+// SupportedVerbs reports Table 1 of the paper: which verbs each
+// transport supports. The Dynamically Connected transport (a Connect-IB
+// feature, Section 5.5) behaves like RC at the verb level while
+// addressing peers per-message like UD.
+func SupportedVerbs(t wire.Transport) []Verb {
+	switch t {
+	case wire.RC, wire.DC:
+		return []Verb{SEND, RECV, WRITE, READ}
+	case wire.UC:
+		return []Verb{SEND, RECV, WRITE}
+	default:
+		return []Verb{SEND, RECV}
+	}
+}
+
+// reliable reports whether t acknowledges delivery (RC and DC).
+func reliable(t wire.Transport) bool { return t == wire.RC || t == wire.DC }
+
+// Supports reports whether transport t supports verb v.
+func Supports(t wire.Transport, v Verb) bool {
+	for _, s := range SupportedVerbs(t) {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MR is a registered memory region on one host.
+type MR struct {
+	host     *Host
+	buf      []byte
+	watchers []watcher
+}
+
+type watcher struct {
+	lo, hi int
+	fn     func(off, n int)
+}
+
+// Bytes exposes the region's backing memory.
+func (m *MR) Bytes() []byte { return m.buf }
+
+// Len returns the region size.
+func (m *MR) Len() int { return len(m.buf) }
+
+// Watch registers fn to run whenever an inbound WRITE lands in
+// [lo, hi). HERD's request region and FaRM's circular buffers poll
+// memory for new data; Watch is the simulation hook that tells the
+// polling model when bytes became visible.
+func (m *MR) Watch(lo, hi int, fn func(off, n int)) {
+	m.watchers = append(m.watchers, watcher{lo: lo, hi: hi, fn: fn})
+}
+
+func (m *MR) landed(off, n int) {
+	for _, w := range m.watchers {
+		if off < w.hi && off+n > w.lo {
+			w.fn(off, n)
+		}
+	}
+}
+
+// Completion describes a completed verb.
+type Completion struct {
+	QPN      uint32
+	WRID     uint64
+	Verb     Verb
+	Bytes    int
+	At       sim.Time
+	Data     []byte // RECV: the received payload
+	SrcQPN   uint32 // RECV on UD: the sender's QP number
+	Dropped  bool   // SEND arriving with no posted RECV
+	ImmDeliv bool   // RECV completed by a WRITE-with-immediate
+	Imm      uint32 // immediate data (ImmDeliv completions)
+}
+
+// CQ is a completion queue. Completions may be consumed either by
+// polling or by an event handler (the natural style inside the
+// simulator's event loop).
+type CQ struct {
+	queue   []Completion
+	handler func(Completion)
+}
+
+// NewCQ returns an empty completion queue.
+func NewCQ() *CQ { return &CQ{} }
+
+// SetHandler delivers future completions to fn instead of queueing them.
+func (cq *CQ) SetHandler(fn func(Completion)) { cq.handler = fn }
+
+// Poll removes and returns up to max queued completions.
+func (cq *CQ) Poll(max int) []Completion {
+	if max <= 0 || len(cq.queue) == 0 {
+		return nil
+	}
+	n := max
+	if n > len(cq.queue) {
+		n = len(cq.queue)
+	}
+	out := make([]Completion, n)
+	copy(out, cq.queue[:n])
+	cq.queue = cq.queue[n:]
+	return out
+}
+
+// Pending returns the number of queued completions.
+func (cq *CQ) Pending() int { return len(cq.queue) }
+
+func (cq *CQ) push(c Completion) {
+	if cq.handler != nil {
+		cq.handler(c)
+		return
+	}
+	cq.queue = append(cq.queue, c)
+}
+
+// Host is one machine's RDMA endpoint: a NIC plus its registered
+// memory and queue pairs.
+type Host struct {
+	eng     *sim.Engine
+	nic     *nic.NIC
+	qps     map[uint32]*QP
+	nextQPN uint32
+}
+
+// NewHost wraps n as a verbs endpoint.
+func NewHost(eng *sim.Engine, n *nic.NIC) *Host {
+	return &Host{eng: eng, nic: n, qps: make(map[uint32]*QP)}
+}
+
+// NIC returns the underlying device model.
+func (h *Host) NIC() *nic.NIC { return h.nic }
+
+// Node returns the host's fabric address.
+func (h *Host) Node() wire.NodeID { return h.nic.Node() }
+
+// RegisterMR registers size bytes of memory with the NIC.
+func (h *Host) RegisterMR(size int) *MR {
+	return &MR{host: h, buf: make([]byte, size)}
+}
+
+// recvBuf is a pre-posted RECV.
+type recvBuf struct {
+	mr   *MR
+	off  int
+	len  int
+	wrid uint64
+}
+
+// QP is a queue pair.
+type QP struct {
+	host      *Host
+	qpn       uint32
+	transport wire.Transport
+	sendCQ    *CQ
+	recvCQ    *CQ
+
+	remote *QP // connected transports only
+
+	recvQueue []recvBuf
+
+	// opQueue holds posted work requests in strict FIFO order until
+	// their PIO/payload-fetch phase completes and the READ window allows
+	// them to issue.
+	opQueue []*sendOp
+
+	// outstandingReads counts in-flight READs against ReadWindow.
+	outstandingReads int
+
+	// lastDest tracks a DC initiator's current peer; switching peers
+	// costs the in-band reconnect.
+	lastDest *QP
+
+	// srq, when set, replaces the per-QP receive queue (AttachSRQ).
+	srq *SRQ
+
+	// txGate and rxGate preserve per-QP FIFO ordering across context-
+	// cache miss stalls: a context fetch stalls this QP's pipeline, so a
+	// later verb never overtakes an earlier one on the same QP.
+	txGate sim.Time
+	rxGate sim.Time
+
+	// RC ordering: ACKed completions pop in post order.
+	awaitingAck []pendingAck
+
+	droppedSends uint64 // inbound SENDs discarded for lack of a RECV
+}
+
+type pendingAck struct {
+	wr    SendWR
+	bytes int
+}
+
+// CreateQP creates a queue pair on transport t with fresh completion
+// queues.
+func (h *Host) CreateQP(t wire.Transport) *QP {
+	h.nextQPN++
+	qp := &QP{
+		host:      h,
+		qpn:       h.nextQPN,
+		transport: t,
+		sendCQ:    NewCQ(),
+		recvCQ:    NewCQ(),
+	}
+	h.qps[qp.qpn] = qp
+	return qp
+}
+
+// QPN returns the queue pair number (unique within its host).
+func (qp *QP) QPN() uint32 { return qp.qpn }
+
+// Transport returns the QP's transport type.
+func (qp *QP) Transport() wire.Transport { return qp.transport }
+
+// SendCQ and RecvCQ return the QP's completion queues.
+func (qp *QP) SendCQ() *CQ { return qp.sendCQ }
+func (qp *QP) RecvCQ() *CQ { return qp.recvCQ }
+
+// Host returns the owning host.
+func (qp *QP) Host() *Host { return qp.host }
+
+// DroppedSends reports inbound SENDs discarded because no RECV was
+// posted (possible on UC/UD; see PostRecv).
+func (qp *QP) DroppedSends() uint64 { return qp.droppedSends }
+
+// Connect pairs two queue pairs on a connected transport. Both ends must
+// use the same transport type; UD and DC QPs address their peers
+// per-message and cannot be statically connected.
+func Connect(a, b *QP) error {
+	if a.transport == wire.UD || b.transport == wire.UD ||
+		a.transport == wire.DC || b.transport == wire.DC {
+		return fmt.Errorf("verbs: cannot connect %v/%v queue pairs: %w",
+			a.transport, b.transport, ErrVerbNotSupported)
+	}
+	if a.transport != b.transport {
+		return fmt.Errorf("verbs: transport mismatch %v vs %v", a.transport, b.transport)
+	}
+	a.remote, b.remote = b, a
+	return nil
+}
+
+// Remote returns the connected peer, or nil.
+func (qp *QP) Remote() *QP { return qp.remote }
+
+// globalKey identifies a QP across the whole fabric for context caching.
+func (qp *QP) globalKey() uint64 {
+	return uint64(qp.host.Node())<<32 | uint64(qp.qpn)
+}
+
+// recvCtxKey is the responder-side context-cache key for inbound traffic
+// to this QP. All DC traffic into a host shares one DC target context
+// (the transport's scalability property); every other transport keeps
+// per-QP receive state.
+func (qp *QP) recvCtxKey() uint64 {
+	if qp.transport == wire.DC {
+		return uint64(qp.host.Node())<<32 | 0x00dc00dc
+	}
+	return qp.globalKey()
+}
+
+// PostRecv posts a receive buffer of length n at mr[off:]. Incoming
+// SENDs consume RECVs in FIFO order; a SEND arriving with no RECV posted
+// is dropped (UC/UD semantics; our RC model counts it as dropped too
+// rather than modeling RNR retries).
+func (qp *QP) PostRecv(mr *MR, off, n int, wrid uint64) error {
+	if off < 0 || n < 0 || off+n > len(mr.buf) {
+		return ErrBounds
+	}
+	qp.recvQueue = append(qp.recvQueue, recvBuf{mr: mr, off: off, len: n, wrid: wrid})
+	return nil
+}
+
+// RecvQueueLen reports how many RECVs are currently posted.
+func (qp *QP) RecvQueueLen() int { return len(qp.recvQueue) }
+
+// SendWR describes a work request for PostSend.
+type SendWR struct {
+	WRID uint64
+	Verb Verb
+
+	// Data is the payload for WRITE and SEND. It is copied at post time.
+	Data []byte
+
+	// Remote locates the target of a WRITE or the source of a READ.
+	Remote    *MR
+	RemoteOff int
+
+	// Local receives READ results.
+	Local    *MR
+	LocalOff int
+	// Len is the READ length.
+	Len int
+
+	// Inline requests payload inlining in the WQE (payloads up to the
+	// device's InlineMax; avoids the DMA fetch).
+	Inline bool
+	// Signaled requests a completion on the send CQ. Unsignaled verbs
+	// produce no completion (selective signaling, Section 2.2.2).
+	Signaled bool
+
+	// Dest is the destination QP for UD SENDs.
+	Dest *QP
+
+	// HasImm turns a WRITE into WRITE-with-immediate: the payload lands
+	// at the remote address as usual, AND a RECV is consumed at the
+	// responder whose completion carries Imm — RDMA's "write plus
+	// doorbell" notification pattern. If no RECV is posted the whole
+	// message is dropped (unreliable-transport semantics).
+	HasImm bool
+	Imm    uint32
+}

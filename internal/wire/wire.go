@@ -1,0 +1,239 @@
+// Package wire models the switched lossless fabric connecting hosts:
+// per-node full-duplex links with serialization delay, a propagation +
+// switching delay, and per-transport header overheads.
+//
+// InfiniBand and RoCE employ credit-based / priority flow control, so
+// packets are never lost to congestion (Section 2.2.3); the only loss
+// source is bit errors, exposed here as an injectable loss rate used by
+// the failure-injection tests.
+package wire
+
+import "herdkv/internal/sim"
+
+// Params describes the fabric.
+type Params struct {
+	// Gbps is each link's signaling rate in gigabits per second of
+	// payload-carrying capacity.
+	Gbps float64
+	// PropDelay is the one-way propagation plus switch traversal delay.
+	PropDelay sim.Time
+	// HdrRC, HdrUC and HdrUD are per-packet header bytes by transport.
+	// UD packets carry a larger header (the paper notes SEND-UD's
+	// throughput drops at smaller payloads than WRITE's because of it).
+	HdrRC, HdrUC, HdrUD int
+	// HdrAck is the size of an RC acknowledgement packet.
+	HdrAck int
+	// MTU is the maximum payload per packet.
+	MTU int
+	// LossRate is the probability a packet is dropped (bit error).
+	// Zero in all performance experiments; nonzero only in failure
+	// injection tests.
+	LossRate float64
+}
+
+// InfiniBand56 returns parameters for the Apt cluster's 56 Gbps FDR
+// InfiniBand fabric.
+func InfiniBand56() Params {
+	return Params{
+		Gbps:      56,
+		PropDelay: sim.NS(450),
+		HdrRC:     36,
+		HdrUC:     36,
+		HdrUD:     68,
+		HdrAck:    30,
+		MTU:       4096,
+	}
+}
+
+// RoCE40 returns parameters for the Susitna cluster's 40 Gbps RoCE
+// fabric.
+func RoCE40() Params {
+	return Params{
+		Gbps:      40,
+		PropDelay: sim.NS(550),
+		HdrRC:     58, // RoCE adds Ethernet + GRH framing
+		HdrUC:     58,
+		HdrUD:     90,
+		HdrAck:    52,
+		MTU:       4096,
+	}
+}
+
+// Transport identifies the RDMA transport a packet travels on.
+type Transport int
+
+// Transport types (Section 2.2.3), plus the Dynamically Connected
+// transport the paper expects from Connect-IB cards (Section 5.5): DC
+// provides connected-transport verbs (including RDMA) while the NIC
+// keeps only one shared responder context, so it scales like UD.
+const (
+	RC Transport = iota // Reliable Connection
+	UC                  // Unreliable Connection
+	UD                  // Unreliable Datagram
+	DC                  // Dynamically Connected (Connect-IB)
+)
+
+// String returns the conventional abbreviation.
+func (t Transport) String() string {
+	switch t {
+	case RC:
+		return "RC"
+	case UC:
+		return "UC"
+	case UD:
+		return "UD"
+	case DC:
+		return "DC"
+	}
+	return "?"
+}
+
+// Header returns the per-packet header bytes for transport t. DC packets
+// carry an extra DC access-key header over RC's.
+func (p Params) Header(t Transport) int {
+	switch t {
+	case RC:
+		return p.HdrRC
+	case UC:
+		return p.HdrUC
+	case DC:
+		return p.HdrRC + 12
+	default:
+		return p.HdrUD
+	}
+}
+
+// NodeID identifies a host on the fabric.
+type NodeID int
+
+type port struct {
+	egress  *sim.Server
+	ingress *sim.Server
+}
+
+// Network is the fabric. Each node owns a full-duplex port; a packet
+// serializes at the sender's egress, crosses the switch, then serializes
+// at the receiver's ingress.
+type Network struct {
+	eng   *sim.Engine
+	p     Params
+	ports map[NodeID]*port
+	rnd   *sim.Rand
+
+	sent    uint64
+	dropped uint64
+}
+
+// NewNetwork returns an empty fabric.
+func NewNetwork(eng *sim.Engine, p Params, seed int64) *Network {
+	return &Network{eng: eng, p: p, ports: make(map[NodeID]*port), rnd: sim.NewRand(seed)}
+}
+
+// Params returns the fabric parameters.
+func (n *Network) Params() Params { return n.p }
+
+// SetLossRate adjusts the bit-error drop probability at runtime (for
+// failure-injection tests that need deterministic loss windows).
+func (n *Network) SetLossRate(r float64) { n.p.LossRate = r }
+
+// AddNode attaches a node to the fabric. Adding an existing node is a
+// no-op.
+func (n *Network) AddNode(id NodeID) {
+	if _, ok := n.ports[id]; ok {
+		return
+	}
+	n.ports[id] = &port{
+		egress:  sim.NewServer(n.eng, 1),
+		ingress: sim.NewServer(n.eng, 1),
+	}
+}
+
+func (n *Network) mustPort(id NodeID) *port {
+	p, ok := n.ports[id]
+	if !ok {
+		panic("wire: unknown node")
+	}
+	return p
+}
+
+// SerializationTime returns the time to clock wireBytes onto a link.
+func (n *Network) SerializationTime(wireBytes int) sim.Time {
+	return sim.Time(float64(wireBytes*8) / (n.p.Gbps * 1e9) * float64(sim.Second))
+}
+
+// WireBytes returns payload plus header size for one packet on t.
+func (n *Network) WireBytes(t Transport, payload int) int {
+	return payload + n.p.Header(t)
+}
+
+// Sent reports packets transmitted; Dropped reports bit-error losses.
+func (n *Network) Sent() uint64    { return n.sent }
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Send transmits one packet of payload bytes from src to dst over
+// transport t. deliver runs when the packet has fully arrived; it is
+// never called if the packet is dropped.
+func (n *Network) Send(src, dst NodeID, t Transport, payload int, deliver func(sim.Time)) {
+	n.SendWire(src, dst, n.WireBytes(t, payload), deliver)
+}
+
+// SendWire transmits a packet of an explicit wire size (used for ACKs and
+// other control packets). Wire sizes above MTU+header are segmented: each
+// segment pays its own header and serialization, and delivery fires when
+// the final segment has fully arrived.
+func (n *Network) SendWire(src, dst NodeID, wireBytes int, deliver func(sim.Time)) {
+	hdr := n.p.HdrUC // segmentation framing approximated by the UC header
+	maxPkt := n.p.MTU + hdr
+	if n.p.MTU <= 0 || wireBytes <= maxPkt {
+		n.sendOne(src, dst, wireBytes, deliver)
+		return
+	}
+	// Split into segments, each with its own header. The message is
+	// delivered only when every segment has arrived — a dropped segment
+	// (which produces no arrival) suppresses delivery entirely.
+	var sizes []int
+	rest := wireBytes
+	for rest > maxPkt {
+		sizes = append(sizes, maxPkt)
+		rest = rest - maxPkt + hdr
+	}
+	sizes = append(sizes, rest)
+	arrived := 0
+	for _, sz := range sizes {
+		n.sendOne(src, dst, sz, func(end sim.Time) {
+			arrived++
+			if arrived == len(sizes) && deliver != nil {
+				deliver(end)
+			}
+		})
+	}
+}
+
+func (n *Network) sendOne(src, dst NodeID, wireBytes int, deliver func(sim.Time)) {
+	sp, dp := n.mustPort(src), n.mustPort(dst)
+	n.sent++
+	if n.p.LossRate > 0 && n.rnd.Float64() < n.p.LossRate {
+		n.dropped++
+		return
+	}
+	ser := n.SerializationTime(wireBytes)
+	sp.egress.Submit(ser, func(sim.Time) {
+		n.eng.After(n.p.PropDelay, func() {
+			dp.ingress.Submit(ser, func(end sim.Time) {
+				if deliver != nil {
+					deliver(end)
+				}
+			})
+		})
+	})
+}
+
+// IngressUtilization reports node id's receive-link utilization.
+func (n *Network) IngressUtilization(id NodeID) float64 {
+	return n.mustPort(id).ingress.Utilization()
+}
+
+// EgressUtilization reports node id's transmit-link utilization.
+func (n *Network) EgressUtilization(id NodeID) float64 {
+	return n.mustPort(id).egress.Utilization()
+}

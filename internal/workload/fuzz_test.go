@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace hardens the trace loader against corrupt or adversarial
+// files: it must never panic or over-allocate, and anything it accepts
+// must survive a write/read round trip.
+func FuzzReadTrace(f *testing.F) {
+	var valid bytes.Buffer
+	Record(NewGenerator(ReadIntensive(100, 32, 1)), 5).WriteTo(&valid)
+	f.Add(valid.Bytes())
+	f.Add([]byte("hkv1"))
+	f.Add([]byte{})
+	f.Add([]byte("hkv1\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	// Regression: a header declaring ~10^9 ops with almost no body once
+	// pre-allocated tens of GB before the length check could fail.
+	f.Add([]byte("hkv1\x00\x00\x01\x3a\x00\x00\x00\x00\x00\x00\x00\x01\x10\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := tr.WriteTo(&out); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		again, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again.Ops) != len(tr.Ops) {
+			t.Fatalf("round trip changed op count")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"herdkv/internal/kv"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	gen := NewGenerator(Skewed(1000, 32, 5))
+	tr := Record(gen, 500)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != 500 {
+		t.Fatalf("ops = %d", len(got.Ops))
+	}
+	for i := range tr.Ops {
+		if tr.Ops[i] != got.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, tr.Ops[i], got.Ops[i])
+		}
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated body.
+	gen := NewGenerator(ReadIntensive(100, 32, 1))
+	var buf bytes.Buffer
+	Record(gen, 10).WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestTraceRejectsHugeCount(t *testing.T) {
+	raw := append([]byte{'h', 'k', 'v', '1'}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("absurd op count accepted")
+	}
+}
+
+func TestTraceSlice(t *testing.T) {
+	gen := NewGenerator(ReadIntensive(100, 32, 2))
+	tr := Record(gen, 103)
+	total := 0
+	seen := map[int]bool{}
+	for c := 0; c < 10; c++ {
+		s := tr.Slice(c, 10)
+		total += len(s)
+		for range s {
+			seen[total] = true
+		}
+	}
+	if total != 103 {
+		t.Fatalf("slices cover %d ops, want 103", total)
+	}
+	// Last client gets the remainder.
+	if got := len(tr.Slice(9, 10)); got != 13 {
+		t.Fatalf("last slice = %d, want 13", got)
+	}
+	if tr.Slice(0, 0) != nil {
+		t.Fatal("zero clients should return nil")
+	}
+}
+
+func TestReplayerWraps(t *testing.T) {
+	gen := NewGenerator(ReadIntensive(100, 32, 3))
+	tr := Record(gen, 7)
+	r := NewReplayer(tr.Ops)
+	for i := 0; i < 21; i++ {
+		if r.Next() != tr.Ops[i%7] {
+			t.Fatalf("replay mismatch at %d", i)
+		}
+	}
+	empty := NewReplayer(nil)
+	if empty.Len() != 0 {
+		t.Fatal("empty replayer length")
+	}
+	_ = empty.Next() // must not panic
+}
+
+// Property: serialization is lossless for arbitrary op streams.
+func TestTraceSerializationProperty(t *testing.T) {
+	f := func(ranks []uint64, flags []bool) bool {
+		n := len(ranks)
+		if len(flags) < n {
+			n = len(flags)
+		}
+		tr := &Trace{}
+		for i := 0; i < n; i++ {
+			tr.Ops = append(tr.Ops, Op{IsGet: flags[i], Rank: ranks[i], Key: kv.FromUint64(ranks[i])})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Ops) != len(tr.Ops) {
+			return false
+		}
+		for i := range tr.Ops {
+			if got.Ops[i] != tr.Ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
