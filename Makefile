@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/telemetry/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -3,15 +3,24 @@
 //
 // Usage:
 //
-//	herdbench [-cluster apt|susitna] [-warmup us] [-span us] [targets...]
+//	herdbench [-cluster apt|susitna] [-warmup us] [-span us]
+//	          [-metrics file] [-trace file] [-perqp] [targets...]
 //
 // Targets are table1, table2, fig2..fig7, fig9..fig14, or "all"
 // (default). Figure 9 always covers both clusters.
+//
+// -metrics dumps the cluster-wide metric registry (per-verb posted and
+// completion counters, PCIe transaction counts, NIC cache hit rates,
+// latency histograms) after all targets run. -trace records every
+// request's lifecycle as spans and writes Chrome trace_event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -19,6 +28,7 @@ import (
 	"herdkv/internal/cluster"
 	"herdkv/internal/experiments"
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 )
 
 func main() {
@@ -27,10 +37,23 @@ func main() {
 	spanUS := flag.Int("span", 400, "measurement window (simulated microseconds)")
 	format := flag.String("format", "text", "output format: text or csv")
 	list := flag.Bool("list", false, "list available targets and exit")
+	metricsFile := flag.String("metrics", "", "write a metrics dump to this file after the targets run")
+	traceFile := flag.String("trace", "", "write request-lifecycle spans as Chrome trace_event JSON to this file")
+	perQP := flag.Bool("perqp", false, "with -metrics: also keep per-queue-pair posted counters")
 	flag.Parse()
 
 	experiments.Warmup = sim.Time(*warmupUS) * sim.Microsecond
 	experiments.Span = sim.Time(*spanUS) * sim.Microsecond
+
+	var sink *telemetry.Sink
+	if *metricsFile != "" || *traceFile != "" {
+		sink = telemetry.New()
+		sink.PerQP = *perQP
+		if *traceFile != "" {
+			sink.Tracer = telemetry.NewTracer()
+		}
+		cluster.SetDefaultTelemetry(sink)
+	}
 
 	var spec cluster.Spec
 	switch strings.ToLower(*clusterName) {
@@ -105,5 +128,26 @@ func main() {
 		}
 		tbl.Fprint(os.Stdout)
 		fmt.Printf("  [%s generated in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	if *metricsFile != "" {
+		writeFile(*metricsFile, sink.Registry.WriteText)
+	}
+	if *traceFile != "" {
+		writeFile(*traceFile, sink.Tracer.WriteChromeTrace)
+	}
+}
+
+// writeFile writes one telemetry artifact via the given writer function.
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

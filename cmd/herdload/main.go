@@ -32,8 +32,15 @@ func main() {
 		duration = flag.Int("duration", 400, "measurement window (simulated microseconds)")
 		warmup   = flag.Int("warmup", 150, "warmup (simulated microseconds)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
+		metricsF = flag.String("metrics", "", "write a metrics dump to this file after the run")
 	)
 	flag.Parse()
+
+	var tel *herdkv.Telemetry
+	if *metricsF != "" {
+		tel = herdkv.NewTelemetry()
+		herdkv.SetDefaultTelemetry(tel)
+	}
 
 	var spec herdkv.Spec
 	switch strings.ToLower(*clusterF) {
@@ -71,6 +78,17 @@ func main() {
 		r.mean, r.p5, r.p50, r.p95, r.p99)
 	if r.gets > 0 {
 		fmt.Printf("hit rate    %.2f%% over %d GETs\n", r.hitRate*100, r.gets)
+	}
+	if *metricsF != "" {
+		f, err := os.Create(*metricsF)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tel.Registry.WriteText(f); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
+		fmt.Printf("metrics     written to %s\n", *metricsF)
 	}
 	if r.verifyErr > 0 {
 		fmt.Printf("VERIFY FAIL %d mismatched GET values\n", r.verifyErr)

@@ -32,6 +32,7 @@ import (
 	"herdkv/internal/mica"
 	"herdkv/internal/pilaf"
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 	"herdkv/internal/workload"
 )
 
@@ -207,3 +208,27 @@ func Skewed(keys uint64, valueSize int, seed int64) Workload {
 // ExpectedValue returns the deterministic verification value written for
 // key by the experiment drivers.
 func ExpectedValue(key Key, size int) []byte { return workload.ExpectedValue(key, size) }
+
+// Telemetry (docs/OBSERVABILITY.md).
+
+// Telemetry is a metrics + tracing sink; attach one to a cluster (or
+// install it as the default) to instrument every layer of the stack.
+type Telemetry = telemetry.Sink
+
+// TelemetryRegistry holds named counters, gauges and latency histograms.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetryTracer records request-lifecycle spans and exports Chrome
+// trace_event JSON (WriteChromeTrace).
+type TelemetryTracer = telemetry.Tracer
+
+// NewTelemetry returns a metrics-only sink; set its Tracer field (see
+// NewTelemetryTracer) to also record lifecycle spans.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewTelemetryTracer returns an empty span recorder.
+func NewTelemetryTracer() *TelemetryTracer { return telemetry.NewTracer() }
+
+// SetDefaultTelemetry installs (or, with nil, removes) the sink attached
+// to every cluster NewCluster subsequently builds.
+func SetDefaultTelemetry(s *Telemetry) { cluster.SetDefaultTelemetry(s) }

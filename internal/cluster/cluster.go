@@ -11,9 +11,20 @@ import (
 	"herdkv/internal/nic"
 	"herdkv/internal/pcie"
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 	"herdkv/internal/verbs"
 	"herdkv/internal/wire"
 )
+
+// defaultTelemetry, when set via SetDefaultTelemetry, is attached to
+// every cluster built by New. CLI front ends use it to instrument all
+// experiments without threading a sink through each one; tests leave it
+// nil and pay nothing.
+var defaultTelemetry *telemetry.Sink
+
+// SetDefaultTelemetry installs (or, with nil, removes) the sink that New
+// attaches to freshly built clusters.
+func SetDefaultTelemetry(s *telemetry.Sink) { defaultTelemetry = s }
 
 // Spec describes one testbed configuration.
 type Spec struct {
@@ -86,17 +97,39 @@ type Cluster struct {
 	Spec     Spec
 	machines []*Machine
 	seed     int64
+	tel      *telemetry.Sink
 }
 
-// New builds a cluster of n machines under spec.
+// New builds a cluster of n machines under spec. If a default telemetry
+// sink is installed (SetDefaultTelemetry), the cluster is born
+// instrumented.
 func New(spec Spec, n int, seed int64) *Cluster {
 	eng := sim.New()
 	net := wire.NewNetwork(eng, spec.Link, seed)
-	c := &Cluster{Eng: eng, Net: net, Spec: spec, seed: seed}
+	c := &Cluster{Eng: eng, Net: net, Spec: spec, seed: seed, tel: defaultTelemetry}
 	for i := 0; i < n; i++ {
 		c.AddMachine()
 	}
 	return c
+}
+
+// SetTelemetry attaches sink s to the cluster and to every machine built
+// so far. Call it before queue pairs are created: per-QP counters and CQ
+// gauges bind at CreateQP time.
+func (c *Cluster) SetTelemetry(s *telemetry.Sink) {
+	c.tel = s
+	for _, m := range c.machines {
+		c.instrument(m)
+	}
+}
+
+// Telemetry returns the cluster's sink (nil when un-instrumented).
+func (c *Cluster) Telemetry() *telemetry.Sink { return c.tel }
+
+func (c *Cluster) instrument(m *Machine) {
+	m.Bus.SetTelemetry(c.tel)
+	m.Verbs.NIC().SetTelemetry(c.tel)
+	m.Verbs.SetTelemetry(c.tel)
 }
 
 // AddMachine attaches one more machine and returns it.
@@ -108,6 +141,9 @@ func (c *Cluster) AddMachine() *Machine {
 		Verbs: verbs.NewHost(c.Eng, n),
 		CPU:   hostmem.NewHost(c.Eng, c.Spec.Host, c.Spec.Cores, c.seed+int64(id)+1),
 		Bus:   bus,
+	}
+	if c.tel != nil {
+		c.instrument(m)
 	}
 	c.machines = append(c.machines, m)
 	return m

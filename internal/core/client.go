@@ -8,6 +8,7 @@ import (
 	"herdkv/internal/kv"
 	"herdkv/internal/mica"
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 	"herdkv/internal/verbs"
 	"herdkv/internal/wire"
 )
@@ -44,6 +45,19 @@ type pendingOp struct {
 	slotOff int
 	retries int
 	done    bool
+
+	trace *telemetry.Trace
+}
+
+// kindName returns the trace name for an operation kind.
+func (k opKind) kindName() string {
+	switch k {
+	case opPut:
+		return "PUT"
+	case opDelete:
+		return "DELETE"
+	}
+	return "GET"
 }
 
 // Client is one HERD client process: a UC QP for writing requests into
@@ -66,6 +80,13 @@ type Client struct {
 
 	issued, completed, retried uint64
 	dupResponses               uint64
+
+	// Telemetry (nil handles when un-instrumented): operation counters
+	// and end-to-end latency histograms, aggregated across clients.
+	tel                                 *telemetry.Sink
+	telIssued, telCompleted, telRetried *telemetry.Counter
+	telDup                              *telemetry.Counter
+	latGet, latPut, latDel              *telemetry.Histogram
 }
 
 // Retries reports how many application-level request rewrites this
@@ -88,6 +109,14 @@ func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
 		perProc: make([][]*pendingOp, s.cfg.NS),
 	}
 	s.nextCli++
+	c.tel = m.Verbs.Telemetry()
+	c.telIssued = c.tel.Counter("herd.ops.issued")
+	c.telCompleted = c.tel.Counter("herd.ops.completed")
+	c.telRetried = c.tel.Counter("herd.ops.retried")
+	c.telDup = c.tel.Counter("herd.responses.duplicate")
+	c.latGet = c.tel.Histogram("herd.get.latency")
+	c.latPut = c.tel.Histogram("herd.put.latency")
+	c.latDel = c.tel.Histogram("herd.delete.latency")
 
 	// Request path: one UC QP pair (WRITE mode), a connectionless UD QP
 	// (SEND/SEND mode), or a DC initiator (DC mode) — the latter two
@@ -232,8 +261,18 @@ func (c *Client) issue(op *pendingOp) {
 	op.issuedAt = c.machine.Verbs.NIC().Engine().Now()
 	c.inflight++
 	c.issued++
+	c.telIssued.Inc()
 	c.perProc[proc] = append(c.perProc[proc], op)
 
+	if c.tel.Tracing() {
+		op.trace = c.tel.StartTrace(op.kind.kindName(), op.issuedAt)
+		op.trace.SetPrefix("req.")
+		if c.sendQP == nil {
+			// WRITE/DC mode: hand the trace to the server by slot, since
+			// the request travels only as memory bytes.
+			c.srv.noteTrace(cfg.SlotIndex(proc, c.id, r), op.trace)
+		}
+	}
 	c.writeRequest(op)
 	c.scheduleRetry(op)
 }
@@ -248,6 +287,7 @@ func (c *Client) writeRequest(op *pendingOp) {
 			Data:   op.payload,
 			Dest:   c.srv.udQPs[op.proc],
 			Inline: inline,
+			Trace:  op.trace,
 		})
 		return
 	}
@@ -259,6 +299,7 @@ func (c *Client) writeRequest(op *pendingOp) {
 			Remote:    c.srv.region,
 			RemoteOff: op.slotOff,
 			Inline:    inline,
+			Trace:     op.trace,
 		})
 		return
 	}
@@ -268,6 +309,7 @@ func (c *Client) writeRequest(op *pendingOp) {
 		Remote:    c.srv.region,
 		RemoteOff: op.slotOff,
 		Inline:    inline,
+		Trace:     op.trace,
 	})
 }
 
@@ -288,6 +330,7 @@ func (c *Client) scheduleRetry(op *pendingOp) {
 		}
 		op.retries++
 		c.retried++
+		c.telRetried.Inc()
 		// The retry may produce a duplicate response (if the original
 		// response, not the request, was lost): post a spare RECV so the
 		// duplicate cannot starve a later operation's completion.
@@ -315,6 +358,7 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	}
 	if idx < 0 {
 		c.dupResponses++
+		c.telDup.Inc()
 		return
 	}
 	op := c.perProc[proc][idx]
@@ -322,11 +366,20 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	op.done = true
 	c.inflight--
 	c.completed++
+	c.telCompleted.Inc()
 
 	res := Result{
 		Key:     op.key,
 		IsGet:   op.kind == opGet,
 		Latency: c.machine.Verbs.NIC().Engine().Now() - op.issuedAt,
+	}
+	switch op.kind {
+	case opGet:
+		c.latGet.RecordTime(res.Latency)
+	case opPut:
+		c.latPut.RecordTime(res.Latency)
+	case opDelete:
+		c.latDel.RecordTime(res.Latency)
 	}
 	status := comp.Data[0]
 	res.OK = status == statusOK

@@ -33,6 +33,7 @@ import (
 	"herdkv/internal/kv"
 	"herdkv/internal/mica"
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 	"herdkv/internal/verbs"
 	"herdkv/internal/wire"
 )
@@ -165,6 +166,13 @@ type Server struct {
 	deletes             uint64
 	inlineResponses     uint64
 	nonInlineResponses  uint64
+
+	// slotTraces carries a request's lifecycle trace from client to
+	// server in WRITE/DC mode, where the request itself travels only as
+	// memory bytes: the client registers its trace under the slot it is
+	// about to WRITE, and serve() picks it up when the keyhash lands.
+	// (SEND/SEND mode instead rides verbs.Completion.Trace.)
+	slotTraces map[int]*telemetry.Trace
 }
 
 // NewServer initializes HERD on machine m. It plays the role of the
@@ -275,6 +283,27 @@ type request struct {
 	rMod         uint16
 	slotRaw      []byte // WRITE mode: the slot, whose tail is zeroed after service
 	viaSend      bool   // SEND/SEND mode: charge RECV reposting
+	trace        *telemetry.Trace
+}
+
+// noteTrace registers tr as the lifecycle trace of the next request to
+// land in slot (see slotTraces).
+func (s *Server) noteTrace(slot int, tr *telemetry.Trace) {
+	if tr == nil {
+		return
+	}
+	if s.slotTraces == nil {
+		s.slotTraces = make(map[int]*telemetry.Trace)
+	}
+	s.slotTraces[slot] = tr
+}
+
+func (s *Server) takeTrace(slot int) *telemetry.Trace {
+	tr, ok := s.slotTraces[slot]
+	if ok {
+		delete(s.slotTraces, slot)
+	}
+	return tr
 }
 
 // serve parses the request in `slot` (WRITE mode) and runs it.
@@ -291,6 +320,7 @@ func (s *Server) serve(proc, client, slot int) {
 	req := request{
 		proc: proc, client: client, key: key, vlen: vlen,
 		rMod: uint16(slot % s.cfg.Window), slotRaw: raw,
+		trace: s.takeTrace(slot),
 	}
 	if vlen > 0 && vlen != lenDelete {
 		req.value = raw[SlotSize-lenTail-vlen : SlotSize-lenTail]
@@ -313,7 +343,12 @@ func (s *Server) execute(req request) {
 		service += s.machine.CPU.Params().RecvRepost
 	}
 
-	s.machine.CPU.Core(req.proc).Submit(service, func(sim.Time) {
+	s.machine.CPU.Core(req.proc).Submit(service, func(at sim.Time) {
+		// The "cpu" span covers poll detection, MICA service, and
+		// response posting; what follows gets the "resp." prefix.
+		req.trace.SetPrefix("")
+		req.trace.Mark("cpu", at)
+		req.trace.SetPrefix("resp.")
 		part := s.parts[req.proc]
 		var resp []byte
 		hdr := func(status byte, vlen int) []byte {
@@ -374,6 +409,7 @@ func (s *Server) execute(req request) {
 			Data:   resp,
 			Dest:   dest,
 			Inline: inline,
+			Trace:  req.trace,
 		}
 		if s.cfg.ResponseBatch <= 1 {
 			s.udQPs[req.proc].PostSend(wr)
@@ -446,7 +482,7 @@ func (s *Server) onSendRequest(proc int, comp verbs.Completion) {
 	}
 	req := request{
 		proc: proc, client: client, key: key, vlen: vlen,
-		rMod: rMod, viaSend: true,
+		rMod: rMod, viaSend: true, trace: comp.Trace,
 	}
 	if vlen > 0 && vlen != lenDelete {
 		if vlen > n-sendReqTail {

@@ -8,6 +8,7 @@ import (
 	"herdkv/internal/kv"
 	"herdkv/internal/mica"
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 )
 
 // LatencyAnatomy decomposes an idle HERD GET's single round trip into
@@ -16,6 +17,13 @@ import (
 // service, and the response's server-to-client leg (SEND + wire + RECV
 // delivery). It substantiates the paper's latency argument — the network
 // legs dominate and there is exactly one round trip to pay.
+//
+// The decomposition is read off the request-lifecycle trace spans the
+// stack records (package telemetry): every span with a "req." prefix is
+// the request leg, the "cpu" span is the server stage, and the "resp."
+// spans are the response leg. Because the spans of one trace partition
+// [issue, response] with no gaps, the three stages sum exactly to the
+// measured round-trip time.
 func LatencyAnatomy(spec cluster.Spec) *Table {
 	t := &Table{
 		ID:      "anatomy",
@@ -24,6 +32,21 @@ func LatencyAnatomy(spec cluster.Spec) *Table {
 	}
 
 	cl := cluster.New(spec, 2, 1)
+	// Trace every operation. Reuse the ambient sink if it already traces
+	// (so the spans also land in any -trace output); otherwise attach a
+	// local tracer, keeping whatever metrics registry is in effect.
+	sink := cl.Telemetry()
+	if !sink.Tracing() {
+		local := &telemetry.Sink{Tracer: telemetry.NewTracer()}
+		if sink != nil {
+			local.Registry = sink.Registry
+			local.PerQP = sink.PerQP
+		}
+		sink = local
+		cl.SetTelemetry(sink)
+	}
+	tracer := sink.Tracer
+
 	cfg := core.DefaultConfig()
 	cfg.NS = 1
 	cfg.MaxClients = 1
@@ -41,28 +64,17 @@ func LatencyAnatomy(spec cluster.Spec) *Table {
 		panic(err)
 	}
 
-	var reqLanded sim.Time
-	srv.Region().Watch(0, cfg.RegionSize(), func(int, int) { reqLanded = cl.Eng.Now() })
+	// Only spans recorded from here on belong to this experiment.
+	checkpoint := tracer.SpanCount()
 
 	reps := 200
-	var reqLeg, serverStage, respLeg, total sim.Time
 	n := 0
-	core0 := cl.Machine(0).CPU.Core(0)
-
 	var next func()
 	next = func() {
 		if n >= reps {
 			return
 		}
-		start := cl.Eng.Now()
-		busyBefore := core0.BusyTime()
 		c.Get(key, func(r core.Result) {
-			done := cl.Eng.Now()
-			service := core0.BusyTime() - busyBefore
-			reqLeg += reqLanded - start
-			serverStage += service
-			respLeg += done - reqLanded - service
-			total += done - start
 			n++
 			// A small gap keeps each measurement isolated.
 			cl.Eng.After(sim.Microsecond, next)
@@ -70,6 +82,33 @@ func LatencyAnatomy(spec cluster.Spec) *Table {
 	}
 	next()
 	cl.Eng.Run()
+
+	// Aggregate the per-operation traces into the three stages. Spans
+	// arrive grouped by completion, but group explicitly by trace ID so
+	// interleaved traces would also decompose correctly.
+	var reqLeg, serverStage, respLeg, total sim.Time
+	byTrace := make(map[uint64][]telemetry.Span)
+	var order []uint64
+	for _, s := range tracer.SpansSince(checkpoint) {
+		if _, seen := byTrace[s.TraceID]; !seen {
+			order = append(order, s.TraceID)
+		}
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	for _, id := range order {
+		spans := byTrace[id]
+		for _, s := range spans {
+			switch {
+			case s.Name == "cpu":
+				serverStage += s.Duration()
+			case len(s.Name) > 5 && s.Name[:5] == "resp.":
+				respLeg += s.Duration()
+			default: // "req." spans
+				reqLeg += s.Duration()
+			}
+		}
+		total += spans[len(spans)-1].End - spans[0].Start
+	}
 
 	mean := func(v sim.Time) float64 { return v.Microseconds() / float64(n) }
 	share := func(v sim.Time) string {

@@ -5,6 +5,7 @@ import (
 
 	"herdkv/internal/cluster"
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 	"herdkv/internal/verbs"
 	"herdkv/internal/wire"
 )
@@ -53,10 +54,13 @@ func signaledVerbLatency(spec cluster.Spec, verb verbs.Verb, size int, inline bo
 	var lastDone func(sim.Time)
 	qa.SendCQ().SetHandler(func(c verbs.Completion) { lastDone(c.At) })
 
+	tel := cl.Telemetry()
 	return meanLatencySerial(cl, reps, func(done func(sim.Time)) {
 		start := cl.Eng.Now()
 		lastDone = func(at sim.Time) { done(at - start) }
-		wr := verbs.SendWR{Verb: verb, Signaled: true}
+		// When tracing, each rep becomes one trace whose spans (pio, nic,
+		// wire, dma, ..., cqe) partition the reported latency exactly.
+		wr := verbs.SendWR{Verb: verb, Signaled: true, Trace: tel.StartTrace(verb.String(), start)}
 		if verb == verbs.READ {
 			wr.Remote, wr.Local, wr.Len = remote, local, size
 		} else {
@@ -84,13 +88,19 @@ func echoLatency(spec cluster.Spec, size int, reps int) sim.Time {
 	payload := make([]byte, size)
 
 	// Echo process: on request arrival, pay the CPU cost of detecting it
-	// and posting the reply, then WRITE the payload back.
+	// and posting the reply, then WRITE the payload back. The reply rides
+	// the request's trace (curTrace) so one ECHO is one trace whose
+	// "req." spans, "cpu" span, and "resp." spans sum to its latency.
+	var curTrace *telemetry.Trace
 	p := srv.CPU.Params()
 	srvMR.Watch(0, 1024, func(off, n int) {
-		srv.CPU.Core(0).Submit(p.PollCheck+p.PostSend, func(sim.Time) {
+		srv.CPU.Core(0).Submit(p.PollCheck+p.PostSend, func(at sim.Time) {
+			curTrace.SetPrefix("")
+			curTrace.Mark("cpu", at)
+			curTrace.SetPrefix("resp.")
 			srvQP.PostSend(verbs.SendWR{
 				Verb: verbs.WRITE, Data: srvMR.Bytes()[:size],
-				Remote: cliMR, Inline: true,
+				Remote: cliMR, Inline: true, Trace: curTrace,
 			})
 		})
 	})
@@ -98,10 +108,13 @@ func echoLatency(spec cluster.Spec, size int, reps int) sim.Time {
 	var onEcho func()
 	cliMR.Watch(0, 1024, func(off, n int) { onEcho() })
 
+	tel := cl.Telemetry()
 	return meanLatencySerial(cl, reps, func(done func(sim.Time)) {
 		start := cl.Eng.Now()
+		curTrace = tel.StartTrace("ECHO", start)
+		curTrace.SetPrefix("req.")
 		onEcho = func() { done(cl.Eng.Now() - start) }
-		cliQP.PostSend(verbs.SendWR{Verb: verbs.WRITE, Data: payload, Remote: srvMR, Inline: true})
+		cliQP.PostSend(verbs.SendWR{Verb: verbs.WRITE, Data: payload, Remote: srvMR, Inline: true, Trace: curTrace})
 	})
 }
 

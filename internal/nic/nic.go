@@ -9,6 +9,7 @@ package nic
 import (
 	"herdkv/internal/pcie"
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 	"herdkv/internal/wire"
 )
 
@@ -23,6 +24,12 @@ type NIC struct {
 	pu      *sim.Server
 	sendCtx *ContextCache
 	recvCtx *ContextCache
+
+	// Telemetry handles (nil when un-instrumented): QP-context-cache
+	// hits and misses on each side, the mechanism behind Figure 12's
+	// client-scaling cliff.
+	telSendHit, telSendMiss *telemetry.Counter
+	telRecvHit, telRecvMiss *telemetry.Counter
 }
 
 // New attaches a NIC with parameters p to bus and fabric node.
@@ -64,12 +71,23 @@ func (n *NIC) PU(work sim.Time, done func(sim.Time)) {
 // PUUtilization reports processing-unit utilization so far.
 func (n *NIC) PUUtilization() float64 { return n.pu.Utilization() }
 
+// SetTelemetry attaches context-cache hit/miss counters. Counter names
+// are shared across NICs, aggregating cluster-wide.
+func (n *NIC) SetTelemetry(s *telemetry.Sink) {
+	n.telSendHit = s.Counter("nic.ctxcache.send.hits")
+	n.telSendMiss = s.Counter("nic.ctxcache.send.misses")
+	n.telRecvHit = s.Counter("nic.ctxcache.recv.hits")
+	n.telRecvMiss = s.Counter("nic.ctxcache.recv.misses")
+}
+
 // TouchSendCtx records a requester-side context access for qpn and
 // returns the PU stall and added latency it causes (zero on a hit).
 func (n *NIC) TouchSendCtx(qpn uint64) (puExtra, latExtra sim.Time) {
 	if n.sendCtx.Touch(qpn) {
+		n.telSendHit.Inc()
 		return 0, 0
 	}
+	n.telSendMiss.Inc()
 	return n.p.CtxMissPU, n.p.CtxMissLat
 }
 
@@ -77,8 +95,10 @@ func (n *NIC) TouchSendCtx(qpn uint64) (puExtra, latExtra sim.Time) {
 // returns the PU stall and added latency it causes (zero on a hit).
 func (n *NIC) TouchRecvCtx(qpn uint64) (puExtra, latExtra sim.Time) {
 	if n.recvCtx.Touch(qpn) {
+		n.telRecvHit.Inc()
 		return 0, 0
 	}
+	n.telRecvMiss.Inc()
 	return n.p.CtxMissPU, n.p.CtxMissLat
 }
 

@@ -15,7 +15,10 @@
 //     (Apt), which is why all systems top out lower on RoCE (Figure 10).
 package pcie
 
-import "herdkv/internal/sim"
+import (
+	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
+)
 
 // CachelineBytes is the write-combining flush unit for PIO.
 const CachelineBytes = 64
@@ -101,6 +104,14 @@ type Bus struct {
 	pio      *sim.Server
 	toHost   *sim.Server
 	fromHost *sim.Server
+
+	// Telemetry handles (nil when un-instrumented). DMA reads are
+	// non-posted transactions (the device holds request state until the
+	// completion returns); DMA writes are posted — the distinction the
+	// paper leans on in Section 3.2.2.
+	telPIOWrites, telPIOBytes         *telemetry.Counter
+	telNonPostedTx, telNonPostedBytes *telemetry.Counter
+	telPostedTx, telPostedBytes       *telemetry.Counter
 }
 
 // NewBus returns a bus on eng with the given parameters.
@@ -116,6 +127,18 @@ func NewBus(eng *sim.Engine, p Params) *Bus {
 
 // Params returns the bus parameters.
 func (b *Bus) Params() Params { return b.p }
+
+// SetTelemetry attaches metric counters for PIO and posted/non-posted
+// DMA transactions. Counter names are shared across buses, so a
+// cluster's machines aggregate into one set of pcie.* metrics.
+func (b *Bus) SetTelemetry(s *telemetry.Sink) {
+	b.telPIOWrites = s.Counter("pcie.pio.writes")
+	b.telPIOBytes = s.Counter("pcie.pio.bytes")
+	b.telNonPostedTx = s.Counter("pcie.dma.nonposted.reads")
+	b.telNonPostedBytes = s.Counter("pcie.dma.nonposted.bytes")
+	b.telPostedTx = s.Counter("pcie.dma.posted.writes")
+	b.telPostedBytes = s.Counter("pcie.dma.posted.bytes")
+}
 
 // Cachelines returns how many write-combining flushes n bytes require.
 func Cachelines(n int) int {
@@ -152,6 +175,8 @@ func (b *Bus) PIOExtraLatency(n int) sim.Time {
 // WQE). done, if non-nil, runs when the device has received the full WQE,
 // including the non-pipelined per-cacheline store latency.
 func (b *Bus) PIOWrite(n int, done func(sim.Time)) {
+	b.telPIOWrites.Inc()
+	b.telPIOBytes.Add(uint64(n))
 	extra := b.PIOExtraLatency(n)
 	b.pio.Submit(b.PIOCost(n), func(sim.Time) {
 		b.eng.After(extra, func() {
@@ -183,6 +208,8 @@ func (b *Bus) DMAWriteCost(n int) sim.Time { return b.xferTime(n) }
 // done runs when the completion data has arrived at the device; it
 // includes the non-posted round-trip latency.
 func (b *Bus) DMARead(n int, done func(sim.Time)) {
+	b.telNonPostedTx.Inc()
+	b.telNonPostedBytes.Add(uint64(n))
 	b.fromHost.Submit(b.xferTime(n), func(sim.Time) {
 		b.eng.After(b.p.DMAReadLatency, func() {
 			if done != nil {
@@ -195,6 +222,8 @@ func (b *Bus) DMARead(n int, done func(sim.Time)) {
 // DMAWrite submits a device-initiated posted write of n bytes to host
 // memory. done runs when the data is visible in host memory.
 func (b *Bus) DMAWrite(n int, done func(sim.Time)) {
+	b.telPostedTx.Inc()
+	b.telPostedBytes.Add(uint64(n))
 	b.toHost.Submit(b.xferTime(n), func(sim.Time) {
 		b.eng.After(b.p.DMAWriteLatency, func() {
 			if done != nil {

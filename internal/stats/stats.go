@@ -1,5 +1,11 @@
 // Package stats provides latency recording (mean / percentiles, as in
 // Figure 11's error bars) and throughput accounting for experiments.
+//
+// It is the experiment-side aggregator: a recorder the drivers create,
+// fill and read per run. The always-on, name-addressed counterpart —
+// counters, gauges and histograms shared by every layer of the stack,
+// plus request-lifecycle tracing — is internal/telemetry (see
+// docs/OBSERVABILITY.md).
 package stats
 
 import (

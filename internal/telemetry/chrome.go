@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event export: the Tracer's spans serialize to the JSON
+// object format understood by chrome://tracing and Perfetto
+// (https://ui.perfetto.dev). Each trace becomes a named "thread" (tid =
+// trace id), each span a complete event ("ph":"X"); timestamps and
+// durations are microseconds of virtual time, carried as floats so the
+// simulator's picosecond resolution survives.
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes every recorded span as Chrome trace_event
+// JSON. Open the file at chrome://tracing or ui.perfetto.dev: each
+// traced request appears as its own track, its stages laid end to end
+// across the request's latency.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	us := func(ps int64) float64 { return float64(ps) / 1e6 }
+	named := make(map[uint64]bool)
+	for _, s := range t.Spans() {
+		if !named[s.TraceID] {
+			named[s.TraceID] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: s.TraceID,
+				Args: map[string]string{"name": s.Trace},
+			})
+		}
+		dur := us(int64(s.End - s.Start))
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: s.Trace, Ph: "X",
+			TS: us(int64(s.Start)), Dur: &dur,
+			PID: 1, TID: s.TraceID,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

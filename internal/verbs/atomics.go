@@ -72,6 +72,8 @@ func (qp *QP) PostAtomic(wr AtomicWR) error {
 
 	n := qp.host.nic
 	p := n.Params()
+	// Atomics are always signaled (the fetched value is the point).
+	qp.countPost(ATOMIC, 0, false, true)
 	// Request: doorbell-only PIO, then the usual requester processing.
 	n.Bus().PIOWrite(n.WQEBytes(qp.transport, 0), func(sim.Time) {
 		puExtra, latExtra := n.TouchSendCtx(qp.globalKey())
@@ -129,6 +131,7 @@ func (qp *QP) deliverAtomicResponse(wr AtomicWR, old uint64) {
 	n.PU(p.RxReadResp, func(sim.Time) {
 		n.Bus().DMAWrite(8+p.CQEBytes, func(at sim.Time) {
 			binary.LittleEndian.PutUint64(wr.Local.buf[wr.LocalOff:wr.LocalOff+8], old)
+			qp.host.telCompleted[ATOMIC].Inc()
 			qp.sendCQ.push(Completion{
 				QPN: qp.qpn, WRID: wr.WRID, Verb: ATOMIC, Bytes: 8, At: at,
 			})

@@ -42,6 +42,9 @@ func (qp *QP) PostSendBatch(wrs []SendWR) error {
 		ops = append(ops, op)
 	}
 	qp.opQueue = append(qp.opQueue, ops...)
+	for _, op := range ops {
+		qp.countPost(op.wr.Verb, len(op.payload), op.inline, op.wr.Signaled)
+	}
 
 	n := qp.host.nic
 	// One doorbell (a single MMIO word), then the NIC pulls the WQEs.

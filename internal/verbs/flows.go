@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 	"herdkv/internal/wire"
 )
 
@@ -30,6 +31,7 @@ func (qp *QP) PostSend(wr SendWR) error {
 		return fmt.Errorf("verbs: %v on %v: %w", wr.Verb, qp.transport, err)
 	}
 	qp.opQueue = append(qp.opQueue, op)
+	qp.countPost(op.wr.Verb, len(op.payload), op.inline, op.wr.Signaled)
 
 	n := qp.host.nic
 	inlineBytes := 0
@@ -37,10 +39,12 @@ func (qp *QP) PostSend(wr SendWR) error {
 		inlineBytes = len(op.payload)
 	}
 	inline := op.inline
-	n.Bus().PIOWrite(n.WQEBytes(qp.transport, inlineBytes), func(sim.Time) {
+	n.Bus().PIOWrite(n.WQEBytes(qp.transport, inlineBytes), func(at sim.Time) {
+		op.wr.Trace.Mark("pio", at)
 		if !inline && len(op.payload) > 0 {
 			// Payload fetched from host memory by DMA before transmit.
-			n.Bus().DMARead(len(op.payload), func(sim.Time) {
+			n.Bus().DMARead(len(op.payload), func(at sim.Time) {
+				op.wr.Trace.Mark("fetch", at)
 				op.ready = true
 				qp.pump()
 			})
@@ -125,6 +129,7 @@ func (qp *QP) transmit(op *sendOp) {
 	n := h.nic
 	src, dstNode := n.Node(), op.dst.host.Node()
 	net := n.Net()
+	op.wr.Trace.Mark("nic", h.eng.Now())
 
 	switch op.wr.Verb {
 	case WRITE:
@@ -139,8 +144,9 @@ func (qp *QP) transmit(op *sendOp) {
 	case SEND:
 		dst := op.dst
 		srcQP := qp
+		tr := op.wr.Trace
 		net.Send(src, dstNode, qp.transport, len(op.payload), func(sim.Time) {
-			dst.deliverSend(srcQP, op.payload)
+			dst.deliverSend(srcQP, op.payload, tr)
 		})
 		qp.localSendComplete(op)
 
@@ -172,6 +178,8 @@ func (qp *QP) localSendComplete(op *sendOp) {
 func (qp *QP) signalCompletion(wr SendWR, bytes int) {
 	n := qp.host.nic
 	n.Bus().DMAWrite(n.Params().CQEBytes, func(at sim.Time) {
+		wr.Trace.Mark("cqe", at)
+		qp.host.telCompleted[wr.Verb].Inc()
 		qp.sendCQ.push(Completion{
 			QPN: qp.qpn, WRID: wr.WRID, Verb: wr.Verb, Bytes: bytes, At: at,
 		})
@@ -186,6 +194,7 @@ func (qp *QP) signalCompletion(wr SendWR, bytes int) {
 func (qp *QP) deliverWrite(src *QP, payload []byte, wr SendWR) {
 	n := qp.host.nic
 	p := n.Params()
+	wr.Trace.Mark("wire", qp.host.eng.Now())
 	target, off := wr.Remote, wr.RemoteOff
 	puExtra, latExtra := n.TouchRecvCtx(qp.recvCtxKey())
 	work := p.RxWrite + puExtra
@@ -201,6 +210,7 @@ func (qp *QP) deliverWrite(src *QP, payload []byte, wr SendWR) {
 				if !ok {
 					// No RECV: the whole message is dropped.
 					qp.droppedSends++
+					qp.host.telDropped.Inc()
 					return
 				}
 			}
@@ -209,13 +219,16 @@ func (qp *QP) deliverWrite(src *QP, payload []byte, wr SendWR) {
 				cqe = p.CQEBytes
 			}
 			n.Bus().DMAWrite(len(payload)+cqe, func(at sim.Time) {
+				wr.Trace.Mark("dma", at)
 				copy(target.buf[off:off+len(payload)], payload)
 				target.landed(off, len(payload))
 				if wr.HasImm {
+					qp.host.telCompleted[RECV].Inc()
 					qp.recvCQ.push(Completion{
 						QPN: qp.qpn, WRID: rb.wrid, Verb: RECV,
 						Bytes: len(payload), At: at,
 						SrcQPN: src.qpn, ImmDeliv: true, Imm: wr.Imm,
+						Trace: wr.Trace,
 					})
 				}
 			})
@@ -230,9 +243,10 @@ func (qp *QP) deliverWrite(src *QP, payload []byte, wr SendWR) {
 // deliverSend handles an inbound SEND: it consumes the head RECV, DMAs
 // payload and CQE to host memory, and completes on the recv CQ (channel
 // semantics — the responder CPU posted the RECV and will poll the CQE).
-func (qp *QP) deliverSend(src *QP, payload []byte) {
+func (qp *QP) deliverSend(src *QP, payload []byte, tr *telemetry.Trace) {
 	n := qp.host.nic
 	p := n.Params()
+	tr.Mark("wire", qp.host.eng.Now())
 	puExtra, latExtra := n.TouchRecvCtx(qp.recvCtxKey())
 	work := p.RxSend + puExtra
 	if reliable(qp.transport) {
@@ -243,6 +257,7 @@ func (qp *QP) deliverSend(src *QP, payload []byte) {
 			rb, ok := qp.popRecv()
 			if !ok {
 				qp.droppedSends++
+				qp.host.telDropped.Inc()
 				return
 			}
 			m := len(payload)
@@ -250,10 +265,13 @@ func (qp *QP) deliverSend(src *QP, payload []byte) {
 				m = rb.len
 			}
 			n.Bus().DMAWrite(m+p.CQEBytes, func(at sim.Time) {
+				tr.Mark("recv", at)
 				copy(rb.mr.buf[rb.off:rb.off+m], payload[:m])
+				qp.host.telCompleted[RECV].Inc()
 				qp.recvCQ.push(Completion{
 					QPN: qp.qpn, WRID: rb.wrid, Verb: RECV, Bytes: m, At: at,
 					Data: rb.mr.buf[rb.off : rb.off+m], SrcQPN: src.qpn,
+					Trace: tr,
 				})
 			})
 			if reliable(qp.transport) {
@@ -270,10 +288,12 @@ func (qp *QP) deliverSend(src *QP, payload []byte) {
 func (qp *QP) deliverReadRequest(src *QP, op *sendOp) {
 	n := qp.host.nic
 	p := n.Params()
+	op.wr.Trace.Mark("wire", qp.host.eng.Now())
 	puExtra, latExtra := n.TouchRecvCtx(qp.recvCtxKey())
 	n.PU(p.RxReadReq+puExtra, func(sim.Time) {
 		fin := func() {
-			n.Bus().DMARead(op.wr.Len, func(sim.Time) {
+			n.Bus().DMARead(op.wr.Len, func(at sim.Time) {
+				op.wr.Trace.Mark("dma", at)
 				data := make([]byte, op.wr.Len)
 				copy(data, op.wr.Remote.buf[op.wr.RemoteOff:op.wr.RemoteOff+op.wr.Len])
 				n.Net().Send(n.Node(), src.host.Node(), qp.transport, op.wr.Len, func(sim.Time) {
@@ -291,14 +311,17 @@ func (qp *QP) deliverReadRequest(src *QP, op *sendOp) {
 func (qp *QP) deliverReadResponse(op *sendOp, data []byte) {
 	n := qp.host.nic
 	p := n.Params()
+	op.wr.Trace.Mark("resp-wire", qp.host.eng.Now())
 	n.PU(p.RxReadResp, func(sim.Time) {
 		bytes := len(data)
 		if op.wr.Signaled {
 			bytes += p.CQEBytes
 		}
 		n.Bus().DMAWrite(bytes, func(at sim.Time) {
+			op.wr.Trace.Mark("cqe", at)
 			copy(op.wr.Local.buf[op.wr.LocalOff:op.wr.LocalOff+op.wr.Len], data)
 			if op.wr.Signaled {
+				qp.host.telCompleted[READ].Inc()
 				qp.sendCQ.push(Completion{
 					QPN: qp.qpn, WRID: op.wr.WRID, Verb: READ, Bytes: op.wr.Len, At: at,
 				})

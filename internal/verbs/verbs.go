@@ -16,6 +16,7 @@ import (
 
 	"herdkv/internal/nic"
 	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
 	"herdkv/internal/wire"
 )
 
@@ -140,6 +141,11 @@ type Completion struct {
 	Dropped  bool   // SEND arriving with no posted RECV
 	ImmDeliv bool   // RECV completed by a WRITE-with-immediate
 	Imm      uint32 // immediate data (ImmDeliv completions)
+
+	// Trace carries the lifecycle trace of the SEND that produced this
+	// RECV completion, if the sender attached one — how a traced request
+	// propagates to the consumer in channel-semantics (SEND/SEND) mode.
+	Trace *telemetry.Trace
 }
 
 // CQ is a completion queue. Completions may be consumed either by
@@ -148,6 +154,11 @@ type Completion struct {
 type CQ struct {
 	queue   []Completion
 	handler func(Completion)
+
+	// depth tracks the queued-completion high-water mark (nil when
+	// un-instrumented). Handler-consumed CQs never queue, so the mark
+	// measures genuine polling backlog.
+	depth *telemetry.Gauge
 }
 
 // NewCQ returns an empty completion queue.
@@ -180,6 +191,7 @@ func (cq *CQ) push(c Completion) {
 		return
 	}
 	cq.queue = append(cq.queue, c)
+	cq.depth.Set(int64(len(cq.queue)))
 }
 
 // Host is one machine's RDMA endpoint: a NIC plus its registered
@@ -189,12 +201,47 @@ type Host struct {
 	nic     *nic.NIC
 	qps     map[uint32]*QP
 	nextQPN uint32
+
+	// Telemetry (nil handles when un-instrumented): per-verb posted and
+	// completed counters, inlined-vs-DMA'd and signaled-vs-unsignaled
+	// splits, and the shared CQ-depth high-water gauge. Counter names
+	// are registry-global, so hosts aggregate cluster-wide.
+	tel          *telemetry.Sink
+	telPosted    [ATOMIC + 1]*telemetry.Counter
+	telCompleted [ATOMIC + 1]*telemetry.Counter
+	telInline    *telemetry.Counter
+	telDMA       *telemetry.Counter
+	telSignaled  *telemetry.Counter
+	telUnsig     *telemetry.Counter
+	telDropped   *telemetry.Counter
+	telCQDepth   *telemetry.Gauge
 }
 
 // NewHost wraps n as a verbs endpoint.
 func NewHost(eng *sim.Engine, n *nic.NIC) *Host {
 	return &Host{eng: eng, nic: n, qps: make(map[uint32]*QP)}
 }
+
+// SetTelemetry attaches the sink and eagerly registers the per-verb
+// counters (so a metrics dump always lists every verb, used or not).
+// Call it before creating queue pairs: CQ gauges and per-QP counters
+// are bound at CreateQP time.
+func (h *Host) SetTelemetry(s *telemetry.Sink) {
+	h.tel = s
+	for v := WRITE; v <= ATOMIC; v++ {
+		h.telPosted[v] = s.Counter("verbs." + v.String() + ".posted")
+		h.telCompleted[v] = s.Counter("verbs." + v.String() + ".completed")
+	}
+	h.telInline = s.Counter("verbs.payload.inlined")
+	h.telDMA = s.Counter("verbs.payload.dma")
+	h.telSignaled = s.Counter("verbs.posted.signaled")
+	h.telUnsig = s.Counter("verbs.posted.unsignaled")
+	h.telDropped = s.Counter("verbs.send.dropped")
+	h.telCQDepth = s.Gauge("verbs.cq.depth.hwm")
+}
+
+// Telemetry returns the attached sink (nil when un-instrumented).
+func (h *Host) Telemetry() *telemetry.Sink { return h.tel }
 
 // NIC returns the underlying device model.
 func (h *Host) NIC() *nic.NIC { return h.nic }
@@ -252,6 +299,10 @@ type QP struct {
 	awaitingAck []pendingAck
 
 	droppedSends uint64 // inbound SENDs discarded for lack of a RECV
+
+	// qpPosted holds per-QP posted counters when the sink is QP-scoped
+	// (Sink.PerQP); nil entries are no-ops.
+	qpPosted [ATOMIC + 1]*telemetry.Counter
 }
 
 type pendingAck struct {
@@ -270,8 +321,38 @@ func (h *Host) CreateQP(t wire.Transport) *QP {
 		sendCQ:    NewCQ(),
 		recvCQ:    NewCQ(),
 	}
+	qp.sendCQ.depth = h.telCQDepth
+	qp.recvCQ.depth = h.telCQDepth
+	if h.tel.QPScoped() {
+		for v := WRITE; v <= ATOMIC; v++ {
+			qp.qpPosted[v] = h.tel.Counter(fmt.Sprintf(
+				"verbs.qp.n%d.q%d.%s.posted", h.Node(), qp.qpn, v))
+		}
+	}
 	h.qps[qp.qpn] = qp
 	return qp
+}
+
+// countPost records one posted verb on the host's (and, when QP-scoped,
+// this QP's) counters. payload and inline describe the payload path:
+// inlined payloads ride the PIO'd WQE, non-inlined ones cost a DMA
+// fetch.
+func (qp *QP) countPost(v Verb, payloadLen int, inline, signaled bool) {
+	h := qp.host
+	h.telPosted[v].Inc()
+	qp.qpPosted[v].Inc()
+	if payloadLen > 0 {
+		if inline {
+			h.telInline.Inc()
+		} else {
+			h.telDMA.Inc()
+		}
+	}
+	if signaled {
+		h.telSignaled.Inc()
+	} else {
+		h.telUnsig.Inc()
+	}
 }
 
 // QPN returns the queue pair number (unique within its host).
@@ -334,6 +415,8 @@ func (qp *QP) PostRecv(mr *MR, off, n int, wrid uint64) error {
 	if off < 0 || n < 0 || off+n > len(mr.buf) {
 		return ErrBounds
 	}
+	qp.host.telPosted[RECV].Inc()
+	qp.qpPosted[RECV].Inc()
 	qp.recvQueue = append(qp.recvQueue, recvBuf{mr: mr, off: off, len: n, wrid: wrid})
 	return nil
 }
@@ -376,4 +459,9 @@ type SendWR struct {
 	// message is dropped (unreliable-transport semantics).
 	HasImm bool
 	Imm    uint32
+
+	// Trace, when non-nil, records this verb's lifecycle stages (PIO,
+	// NIC processing, wire, DMA, completion) as telemetry spans. Leave
+	// nil — the default — for zero tracing cost.
+	Trace *telemetry.Trace
 }
