@@ -4,10 +4,13 @@
 // Usage:
 //
 //	herdbench [-cluster apt|susitna] [-warmup us] [-span us]
-//	          [-metrics file] [-trace file] [-perqp] [targets...]
+//	          [-metrics file] [-trace file] [-perqp]
+//	          [-faults script] [targets...]
 //
 // Targets are table1, table2, fig2..fig7, fig9..fig14, or "all"
-// (default). Figure 9 always covers both clusters.
+// (default). Figure 9 always covers both clusters. The "chaos" target
+// runs the packaged crash-restart scenario; -faults replaces its
+// schedule with a chaos script (see docs/ROBUSTNESS.md for the format).
 //
 // -metrics dumps the cluster-wide metric registry (per-verb posted and
 // completion counters, PCIe transaction counts, NIC cache hit rates,
@@ -27,6 +30,7 @@ import (
 
 	"herdkv/internal/cluster"
 	"herdkv/internal/experiments"
+	"herdkv/internal/fault"
 	"herdkv/internal/sim"
 	"herdkv/internal/telemetry"
 )
@@ -40,6 +44,7 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write a metrics dump to this file after the targets run")
 	traceFile := flag.String("trace", "", "write request-lifecycle spans as Chrome trace_event JSON to this file")
 	perQP := flag.Bool("perqp", false, "with -metrics: also keep per-queue-pair posted counters")
+	faultsFile := flag.String("faults", "", "chaos script for the chaos target (overrides the packaged scenario)")
 	flag.Parse()
 
 	experiments.Warmup = sim.Time(*warmupUS) * sim.Microsecond
@@ -94,13 +99,31 @@ func main() {
 		"cpuuse":            func() *experiments.Table { return experiments.CPUUse(spec) },
 		"symmetric":         func() *experiments.Table { return experiments.SymmetricStudy(spec) },
 		"classical":         func() *experiments.Table { return experiments.Classical(spec) },
+
+		// Robustness: HERD under a scripted fault schedule.
+		"chaos": func() *experiments.Table {
+			if *faultsFile == "" {
+				return experiments.ChaosScenario(spec)
+			}
+			script, err := os.ReadFile(*faultsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			sched, err := fault.ParseSchedule(string(script))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return experiments.Chaos(spec, sched, 1)
+		},
 	}
 	order := []string{
 		"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"ablation-arch", "ablation-inline", "ablation-window", "ablation-prefetch",
 		"ablation-doorbell",
-		"anatomy", "cpuuse", "symmetric", "classical",
+		"anatomy", "cpuuse", "symmetric", "classical", "chaos",
 	}
 
 	if *list {

@@ -29,6 +29,8 @@ func main() {
 		window   = flag.Int("window", 4, "outstanding requests per client")
 		cores    = flag.Int("cores", 6, "server processes / cores")
 		sendMode = flag.Bool("sendmode", false, "HERD only: SEND/SEND architecture")
+		loss     = flag.Float64("loss", 0, "uniform packet-loss probability on every link")
+		retryUS  = flag.Int("retry", 0, "HERD only: retry timeout (simulated microseconds; 0 = no retries)")
 		duration = flag.Int("duration", 400, "measurement window (simulated microseconds)")
 		warmup   = flag.Int("warmup", 150, "warmup (simulated microseconds)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
@@ -57,6 +59,8 @@ func main() {
 		clients: *clients, getFrac: *getFrac, value: *value,
 		keys: *keys, zipf: *zipf, window: *window, cores: *cores,
 		sendMode: *sendMode,
+		loss:     *loss,
+		retry:    herdkv.Time(*retryUS) * herdkv.Microsecond,
 		warmup:   herdkv.Time(*warmup) * herdkv.Microsecond,
 		span:     herdkv.Time(*duration) * herdkv.Microsecond,
 		seed:     *seed,
@@ -78,6 +82,10 @@ func main() {
 		r.mean, r.p5, r.p50, r.p95, r.p99)
 	if r.gets > 0 {
 		fmt.Printf("hit rate    %.2f%% over %d GETs\n", r.hitRate*100, r.gets)
+	}
+	if r.haveReliability {
+		fmt.Printf("reliability %d retries, %d duplicate and %d corrupt responses discarded, %d timed-out ops, %d reconnects\n",
+			r.retried, r.dups, r.corrupt, r.failed, r.reconnects)
 	}
 	if *metricsF != "" {
 		f, err := os.Create(*metricsF)

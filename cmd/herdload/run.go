@@ -18,6 +18,8 @@ type options struct {
 	window   int
 	cores    int
 	sendMode bool
+	loss     float64     // injected uniform packet-loss rate
+	retry    herdkv.Time // HERD retry timeout (0 = no retries)
 	warmup   herdkv.Time
 	span     herdkv.Time
 	seed     int64
@@ -29,6 +31,11 @@ type report struct {
 	hitRate                 float64
 	gets                    uint64
 	verifyErr               uint64
+
+	// Reliability counters (HERD only), aggregated across clients.
+	retried, dups, corrupt uint64
+	failed, reconnects     uint64
+	haveReliability        bool
 }
 
 // doer abstracts the per-system client operations.
@@ -38,12 +45,14 @@ type doer struct {
 }
 
 func run(o options) (report, error) {
+	o.spec.Link.LossRate = o.loss
 	machines := 1 + (o.clients+2)/3
 	cl := herdkv.NewCluster(o.spec, machines, o.seed)
 	clientMachine := func(i int) *herdkv.Machine { return cl.Machine(1 + i/3) }
 
 	preloadVal := func(k herdkv.Key) []byte { return herdkv.ExpectedValue(k, o.value) }
 	doers := make([]doer, o.clients)
+	var herdClients []*herdkv.Client
 
 	switch o.system {
 	case "herd":
@@ -52,6 +61,7 @@ func run(o options) (report, error) {
 		cfg.MaxClients = o.clients
 		cfg.Window = o.window
 		cfg.UseSendRequests = o.sendMode
+		cfg.RetryTimeout = o.retry
 		cfg.Mica = herdkv.MicaConfig{
 			IndexBuckets: int(o.keys) / 4, BucketSlots: 8,
 			LogBytes: int(o.keys) * (18 + o.value) * 2 / o.cores,
@@ -71,6 +81,7 @@ func run(o options) (report, error) {
 			if err != nil {
 				return report{}, err
 			}
+			herdClients = append(herdClients, c)
 			doers[i] = doer{
 				get: func(k herdkv.Key, done func(bool, []byte, herdkv.Time)) error {
 					return c.Get(k, func(r herdkv.Result) { done(r.OK, r.Value, r.Latency) })
@@ -238,6 +249,14 @@ func run(o options) (report, error) {
 			return lats[i]
 		}
 		r.p5, r.p50, r.p95, r.p99 = pct(5), pct(50), pct(95), pct(99)
+	}
+	for _, c := range herdClients {
+		r.haveReliability = true
+		r.retried += c.Retries()
+		r.dups += c.DupResponses()
+		r.corrupt += c.CorruptResponses()
+		r.failed += c.Failed()
+		r.reconnects += c.Reconnects()
 	}
 	return r, nil
 }

@@ -28,6 +28,7 @@ import (
 	"herdkv/internal/cluster"
 	"herdkv/internal/core"
 	"herdkv/internal/farm"
+	"herdkv/internal/fault"
 	"herdkv/internal/kv"
 	"herdkv/internal/mica"
 	"herdkv/internal/pilaf"
@@ -208,6 +209,31 @@ func Skewed(keys uint64, valueSize int, seed int64) Workload {
 // ExpectedValue returns the deterministic verification value written for
 // key by the experiment drivers.
 func ExpectedValue(key Key, size int) []byte { return workload.ExpectedValue(key, size) }
+
+// Fault injection (docs/ROBUSTNESS.md).
+
+// FaultSchedule is a script of timed fault events (blackouts,
+// partitions, loss and corruption windows, crash+restart); hang it on
+// Spec.Faults before NewCluster to run chaos.
+type FaultSchedule = fault.Schedule
+
+// FaultEvent is one scripted fault.
+type FaultEvent = fault.Event
+
+// FaultInjector binds a schedule to one cluster's fabric; reach it via
+// Cluster.Faults, register crash targets, then Arm before running.
+type FaultInjector = fault.Injector
+
+// ParseFaultSchedule parses the chaos script format (one event per
+// line: "crash node=0 at=10ms restart=20ms", "loss from=0 until=30ms
+// rate=0.05", ...).
+func ParseFaultSchedule(script string) (*FaultSchedule, error) {
+	return fault.ParseSchedule(script)
+}
+
+// ErrTimedOut is the terminal error of a HERD operation that exhausted
+// its retry budget without a response.
+var ErrTimedOut = core.ErrTimedOut
 
 // Telemetry (docs/OBSERVABILITY.md).
 

@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 
+	"herdkv/internal/fault"
 	"herdkv/internal/hostmem"
 	"herdkv/internal/nic"
 	"herdkv/internal/pcie"
@@ -38,6 +39,12 @@ type Spec struct {
 	PCIe pcie.Params
 	NIC  nic.Params
 	Host hostmem.Params
+
+	// Faults, when non-nil, is a chaos schedule injected into the
+	// cluster's fabric and engine at construction: New builds a
+	// fault.Injector over it (reachable via Cluster.Faults). Register
+	// crash targets on the injector and Arm it before running.
+	Faults *fault.Schedule
 }
 
 // Apt returns the Emulab Apt testbed configuration.
@@ -88,6 +95,11 @@ type Machine struct {
 	Verbs *verbs.Host
 	CPU   *hostmem.Host
 	Bus   *pcie.Bus
+
+	// Seed is this machine's deterministic seed (derived from the
+	// cluster seed and machine index); client-side jittered backoff
+	// draws from it so retry timing replays exactly.
+	Seed int64
 }
 
 // Cluster is a set of machines on one fabric sharing a simulation engine.
@@ -98,20 +110,37 @@ type Cluster struct {
 	machines []*Machine
 	seed     int64
 	tel      *telemetry.Sink
+	inj      *fault.Injector
 }
 
 // New builds a cluster of n machines under spec. If a default telemetry
 // sink is installed (SetDefaultTelemetry), the cluster is born
-// instrumented.
+// instrumented. A Spec.Faults schedule is bound to the fabric here; an
+// invalid schedule panics (construct schedules via fault.ParseSchedule
+// or validate them first to surface errors as errors).
 func New(spec Spec, n int, seed int64) *Cluster {
 	eng := sim.New()
 	net := wire.NewNetwork(eng, spec.Link, seed)
 	c := &Cluster{Eng: eng, Net: net, Spec: spec, seed: seed, tel: defaultTelemetry}
+	if spec.Faults != nil {
+		inj, err := fault.NewInjector(net, spec.Faults, seed+0x7a11)
+		if err != nil {
+			panic(err)
+		}
+		c.inj = inj
+		if c.tel != nil {
+			inj.SetTelemetry(c.tel)
+		}
+	}
 	for i := 0; i < n; i++ {
 		c.AddMachine()
 	}
 	return c
 }
+
+// Faults returns the fault injector bound by Spec.Faults, or nil when
+// the cluster runs fault-free.
+func (c *Cluster) Faults() *fault.Injector { return c.inj }
 
 // SetTelemetry attaches sink s to the cluster and to every machine built
 // so far. Call it before queue pairs are created: per-QP counters and CQ
@@ -120,6 +149,9 @@ func (c *Cluster) SetTelemetry(s *telemetry.Sink) {
 	c.tel = s
 	for _, m := range c.machines {
 		c.instrument(m)
+	}
+	if c.inj != nil {
+		c.inj.SetTelemetry(s)
 	}
 }
 
@@ -141,6 +173,7 @@ func (c *Cluster) AddMachine() *Machine {
 		Verbs: verbs.NewHost(c.Eng, n),
 		CPU:   hostmem.NewHost(c.Eng, c.Spec.Host, c.Spec.Cores, c.seed+int64(id)+1),
 		Bus:   bus,
+		Seed:  c.seed + int64(id) + 1,
 	}
 	if c.tel != nil {
 		c.instrument(m)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"herdkv/internal/cluster"
@@ -13,14 +14,24 @@ import (
 	"herdkv/internal/wire"
 )
 
+// ErrTimedOut is the terminal error of an operation that exhausted its
+// retry budget (Config.MaxRetries) without a response — the server is
+// crashed, partitioned away, or the fabric ate every attempt. The
+// operation may still have executed server-side (at-least-once
+// semantics); all HERD operations are idempotent, so callers may simply
+// reissue.
+var ErrTimedOut = errors.New("herd: operation timed out after retry budget")
+
 // Result is the outcome of one HERD operation, delivered to the caller's
-// callback when the response SEND arrives.
+// callback when the response SEND arrives — or when the op fails
+// terminally, in which case Err is non-nil and OK is false.
 type Result struct {
 	Key     kv.Key
 	IsGet   bool
 	OK      bool
 	Value   []byte // GET hit: the value (copied)
 	Latency sim.Time
+	Err     error // terminal failure (ErrTimedOut); nil on a served response
 }
 
 type opKind int
@@ -45,6 +56,13 @@ type pendingOp struct {
 	slotOff int
 	retries int
 	done    bool
+
+	// attempt is a generation counter for the op's retry timer: every
+	// (re)issue, completion, and failure bumps it, so a timer armed for
+	// an earlier attempt finds a stale generation and does nothing.
+	// Without it, a completion racing a reconnect-reissue would leave
+	// two live timer chains retransmitting duplicates of the same op.
+	attempt int
 
 	trace *telemetry.Trace
 }
@@ -78,14 +96,39 @@ type Client struct {
 	waiting  []*pendingOp   // ops queued for a window slot
 	perProc  [][]*pendingOp // FIFO of outstanding ops per server process
 
+	// slotFree[proc][r mod W] is the earliest virtual time that window
+	// slot may host a new op. Responses echo only r mod W, so after an op
+	// that retransmitted finishes, its slot is quarantined until any
+	// still-in-flight duplicate response has drained — otherwise the
+	// duplicate would match the slot's next op and deliver a wrong value.
+	slotFree [][]sim.Time
+
+	// slotWait[proc] holds ops whose next window slot is still occupied
+	// by an outstanding op (one that stalled on retries while younger
+	// ops completed around it). They issue as occupants resolve.
+	slotWait [][]*pendingOp
+
 	issued, completed, retried uint64
 	dupResponses               uint64
+	failed                     uint64 // terminal retry-budget failures
+	corruptResponses           uint64 // responses rejected by the status check
+	reconnects                 uint64 // completed re-registration handshakes
+
+	// rng drives backoff jitter; seeded from the machine seed and client
+	// id so retry timing is deterministic per run.
+	rng *sim.Rand
+
+	// Reconnect state: one handshake runs at a time; the generation
+	// counter invalidates timeout/reply closures from finished attempts.
+	reconnecting bool
+	reconnGen    int
 
 	// Telemetry (nil handles when un-instrumented): operation counters
 	// and end-to-end latency histograms, aggregated across clients.
 	tel                                 *telemetry.Sink
 	telIssued, telCompleted, telRetried *telemetry.Counter
-	telDup                              *telemetry.Counter
+	telDup, telFailed, telCorrupt       *telemetry.Counter
+	telReconnects                       *telemetry.Counter
 	latGet, latPut, latDel              *telemetry.Histogram
 }
 
@@ -93,6 +136,21 @@ type Client struct {
 // client has performed (nonzero only under packet loss with
 // Config.RetryTimeout set).
 func (c *Client) Retries() uint64 { return c.retried }
+
+// Failed reports operations that ended with a terminal ErrTimedOut
+// after exhausting the retry budget.
+func (c *Client) Failed() uint64 { return c.failed }
+
+// DupResponses reports responses discarded because no outstanding op
+// matched them (duplicates from retried requests).
+func (c *Client) DupResponses() uint64 { return c.dupResponses }
+
+// CorruptResponses reports responses rejected by the status validity
+// check (damaged in flight by injected corruption).
+func (c *Client) CorruptResponses() uint64 { return c.corruptResponses }
+
+// Reconnects reports completed crash-recovery handshakes.
+func (c *Client) Reconnects() uint64 { return c.reconnects }
 
 // ConnectClient attaches a HERD client on machine m: it establishes the
 // UC connection for requests (the only connected QP the server needs per
@@ -102,18 +160,27 @@ func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
 		return nil, fmt.Errorf("core: request region sized for %d clients", s.cfg.MaxClients)
 	}
 	c := &Client{
-		srv:     s,
-		id:      s.nextCli,
-		machine: m,
-		reqSeq:  make([]int, s.cfg.NS),
-		perProc: make([][]*pendingOp, s.cfg.NS),
+		srv:      s,
+		id:       s.nextCli,
+		machine:  m,
+		reqSeq:   make([]int, s.cfg.NS),
+		perProc:  make([][]*pendingOp, s.cfg.NS),
+		slotFree: make([][]sim.Time, s.cfg.NS),
+		slotWait: make([][]*pendingOp, s.cfg.NS),
+		rng:      sim.NewRand(m.Seed*4099 + int64(s.nextCli)),
+	}
+	for p := range c.slotFree {
+		c.slotFree[p] = make([]sim.Time, s.cfg.Window)
 	}
 	s.nextCli++
 	c.tel = m.Verbs.Telemetry()
 	c.telIssued = c.tel.Counter("herd.ops.issued")
 	c.telCompleted = c.tel.Counter("herd.ops.completed")
-	c.telRetried = c.tel.Counter("herd.ops.retried")
+	c.telRetried = c.tel.Counter("herd.retries")
 	c.telDup = c.tel.Counter("herd.responses.duplicate")
+	c.telFailed = c.tel.Counter("herd.ops.failed")
+	c.telCorrupt = c.tel.Counter("herd.responses.corrupt")
+	c.telReconnects = c.tel.Counter("herd.reconnects")
 	c.latGet = c.tel.Histogram("herd.get.latency")
 	c.latPut = c.tel.Histogram("herd.put.latency")
 	c.latDel = c.tel.Histogram("herd.delete.latency")
@@ -132,6 +199,7 @@ func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
 		if err := verbs.Connect(c.ucQP, serverUC); err != nil {
 			return nil, err
 		}
+		s.ucByClient[c.id] = serverUC
 	}
 
 	// Response path: NS UD QPs and a response region with one slot per
@@ -209,6 +277,24 @@ func (c *Client) issue(op *pendingOp) {
 	cfg := c.srv.cfg
 	proc := mica.Partition(op.key, cfg.NS)
 	r := c.reqSeq[proc]
+	for _, o := range c.perProc[proc] {
+		if o.r%cfg.Window == r%cfg.Window {
+			// The slot's previous occupant is still outstanding — it
+			// stalled on a retry while younger ops on this process
+			// completed around it. Responses echo only r mod W, so two
+			// live ops in one slot are indistinguishable and the
+			// occupant would steal this op's response. Park until the
+			// occupant resolves.
+			c.slotWait[proc] = append(c.slotWait[proc], op)
+			return
+		}
+	}
+	if until := c.slotFree[proc][r%cfg.Window]; until > c.machine.Verbs.NIC().Engine().Now() {
+		// The slot is quarantined while duplicates of its previous op may
+		// still arrive; issue once they have drained.
+		c.machine.Verbs.NIC().Engine().At(until, func() { c.issue(op) })
+		return
+	}
 	c.reqSeq[proc]++
 
 	// Post the RECV for the response before writing the request
@@ -274,7 +360,7 @@ func (c *Client) issue(op *pendingOp) {
 		}
 	}
 	c.writeRequest(op)
-	c.scheduleRetry(op)
+	c.armRetry(op)
 }
 
 // writeRequest posts (or re-posts) op's request: a WRITE into the
@@ -313,36 +399,223 @@ func (c *Client) writeRequest(op *pendingOp) {
 	})
 }
 
-// scheduleRetry arms the application-level retry timer (Section 2.2.3's
-// answer to the unreliable transports).
-func (c *Client) scheduleRetry(op *pendingOp) {
-	timeout := c.srv.cfg.RetryTimeout
-	if timeout <= 0 {
+// retryDelay computes the delay before retry number k (0-based): the
+// base timeout grown exponentially, capped, then stretched by a random
+// jitter fraction so concurrent clients' retry storms decorrelate. The
+// jitter draw comes from the client's seeded RNG, so a run replays
+// exactly.
+func (c *Client) retryDelay(k int) sim.Time {
+	cfg := c.srv.cfg
+	d := cfg.RetryTimeout
+	factor := cfg.retryBackoff()
+	for i := 0; i < k; i++ {
+		d = sim.Time(float64(d) * factor)
+		if d >= cfg.retryBackoffCap() {
+			d = cfg.retryBackoffCap()
+			break
+		}
+	}
+	if j := cfg.retryJitter(); j > 0 {
+		d += sim.Time(c.rng.Float64() * j * float64(d))
+	}
+	return d
+}
+
+// armRetry arms the application-level retry timer (Section 2.2.3's
+// answer to the unreliable transports). The timer captures the op's
+// current attempt generation: a completion, terminal failure, or
+// reconnect-reissue bumps the generation, so the captured timer fires
+// as a no-op instead of retransmitting a finished or superseded op.
+func (c *Client) armRetry(op *pendingOp) {
+	if c.srv.cfg.RetryTimeout <= 0 {
 		return
 	}
-	max := c.srv.cfg.MaxRetries
-	if max <= 0 {
-		max = 3
-	}
-	c.machine.Verbs.NIC().Engine().After(timeout, func() {
-		if op.done || op.retries >= max {
+	gen := op.attempt
+	c.machine.Verbs.NIC().Engine().After(c.retryDelay(op.retries), func() {
+		if op.done || op.attempt != gen {
+			return // stale timer: the op completed, failed, or was reissued
+		}
+		if op.retries >= c.srv.cfg.maxRetries() {
+			c.failOp(op)
 			return
 		}
 		op.retries++
+		op.attempt++
 		c.retried++
 		c.telRetried.Inc()
+		op.trace.Mark("retry", c.machine.Verbs.NIC().Engine().Now())
 		// The retry may produce a duplicate response (if the original
 		// response, not the request, was lost): post a spare RECV so the
 		// duplicate cannot starve a later operation's completion.
 		respSlot := (op.proc*c.srv.cfg.Window + op.r%c.srv.cfg.Window) * SlotSize
 		c.udQPs[op.proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(op.r))
 		c.writeRequest(op)
-		c.scheduleRetry(op)
+		c.armRetry(op)
 	})
 }
 
+// quarantineSlot delays reuse of op's (proc, r mod W) window slot after
+// an op that retransmitted finishes: a duplicate response may still be
+// in flight. Every retransmission happened strictly before the op
+// finished (finishing invalidates its timers), so the last duplicate
+// arrives within one more response round trip — two timeout spans cover
+// that even when a retry fired spuriously because the true response
+// latency exceeded RetryTimeout.
+func (c *Client) quarantineSlot(op *pendingOp) {
+	if op.retries == 0 || c.srv.cfg.RetryTimeout <= 0 {
+		return
+	}
+	until := c.machine.Verbs.NIC().Engine().Now() + 2*c.srv.cfg.RetryTimeout
+	slot := &c.slotFree[op.proc][op.r%c.srv.cfg.Window]
+	if until > *slot {
+		*slot = until
+	}
+}
+
+// releaseSlot re-issues one op parked on proc's window slots after an
+// occupant resolved. The parked op recomputes its slot on issue and
+// parks again if the next slot is also blocked.
+func (c *Client) releaseSlot(proc int) {
+	if len(c.slotWait[proc]) == 0 {
+		return
+	}
+	op := c.slotWait[proc][0]
+	c.slotWait[proc] = c.slotWait[proc][1:]
+	c.issue(op)
+}
+
+// failOp terminates an op that exhausted its retry budget: the caller
+// gets Result.Err = ErrTimedOut, the window slot is freed, and — since a
+// burned budget is the client's stall signal — a reconnection handshake
+// starts in case the server process crashed.
+func (c *Client) failOp(op *pendingOp) {
+	op.done = true
+	op.attempt++
+	for i, o := range c.perProc[op.proc] {
+		if o == op {
+			c.perProc[op.proc] = append(c.perProc[op.proc][:i], c.perProc[op.proc][i+1:]...)
+			break
+		}
+	}
+	c.quarantineSlot(op)
+	c.releaseSlot(op.proc)
+	c.inflight--
+	c.failed++
+	c.telFailed.Inc()
+	now := c.machine.Verbs.NIC().Engine().Now()
+	op.trace.Mark("failed", now)
+	c.startReconnect()
+	if len(c.waiting) > 0 {
+		next := c.waiting[0]
+		c.waiting = c.waiting[1:]
+		c.issue(next)
+	}
+	if op.cb != nil {
+		op.cb(Result{
+			Key:     op.key,
+			IsGet:   op.kind == opGet,
+			Latency: now - op.issuedAt,
+			Err:     ErrTimedOut,
+		})
+	}
+}
+
+// reconnCtrlBytes is the wire size of a handshake control packet (QP
+// numbers and rkeys ride in a small datagram).
+const reconnCtrlBytes = 64
+
+// startReconnect begins the crash-recovery handshake for WRITE-mode
+// clients. The client's connected UC peer on the server died with the
+// crash; until a fresh server-side QP is registered, every request WRITE
+// lands on an errored QP and vanishes. SEND/SEND and DC clients address
+// the server per-message and need no handshake — their retries recover
+// on their own once the server restarts.
+func (c *Client) startReconnect() {
+	if c.ucQP == nil || c.reconnecting {
+		return
+	}
+	c.reconnecting = true
+	c.reconnGen++
+	c.tryReconnect(c.reconnGen, 0)
+}
+
+// tryReconnect runs one handshake attempt: a control packet to the
+// server asking for re-registration; a live server replaces the errored
+// UC pair and echoes a reply. Attempts time out with the same
+// backoff-and-jitter policy as request retries and give up after the
+// retry budget — a later terminal failure starts a fresh episode.
+func (c *Client) tryReconnect(gen, attempt int) {
+	if !c.reconnecting || gen != c.reconnGen {
+		return
+	}
+	if attempt > c.srv.cfg.maxRetries() {
+		c.reconnecting = false
+		return
+	}
+	eng := c.machine.Verbs.NIC().Engine()
+	net := c.machine.Verbs.NIC().Net()
+	cli, srv := c.machine.Verbs.Node(), c.srv.machine.Verbs.Node()
+	done := false
+	net.SendWire(cli, srv, reconnCtrlBytes, func(sim.Time) {
+		// Server side, at arrival: a crashed process cannot answer.
+		if !c.srv.reregister(c) {
+			return
+		}
+		net.SendWire(srv, cli, reconnCtrlBytes, func(at sim.Time) {
+			if done || !c.reconnecting || gen != c.reconnGen {
+				return
+			}
+			done = true
+			c.finishReconnect(at)
+		})
+	})
+	timeout := c.srv.cfg.reconnectTimeout()
+	for i := 0; i < attempt; i++ {
+		timeout = sim.Time(float64(timeout) * c.srv.cfg.retryBackoff())
+	}
+	if j := c.srv.cfg.retryJitter(); j > 0 {
+		timeout += sim.Time(c.rng.Float64() * j * float64(timeout))
+	}
+	eng.After(timeout, func() {
+		if done || !c.reconnecting || gen != c.reconnGen {
+			return
+		}
+		c.tryReconnect(gen, attempt+1)
+	})
+}
+
+// finishReconnect completes the handshake: the server holds a fresh UC
+// pair for this client, so every still-pending op (in flight when the
+// crash ate its request-region state) is reissued. Each reissue bumps
+// the op's attempt generation, killing any timer armed for the
+// pre-reconnect transmission.
+func (c *Client) finishReconnect(at sim.Time) {
+	c.reconnecting = false
+	c.reconnects++
+	c.telReconnects.Inc()
+	for proc := range c.perProc {
+		for _, op := range c.perProc[proc] {
+			op.attempt++
+			op.trace.Mark("reconnect.reissue", at)
+			respSlot := (op.proc*c.srv.cfg.Window + op.r%c.srv.cfg.Window) * SlotSize
+			c.udQPs[op.proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(op.r))
+			c.writeRequest(op)
+			c.armRetry(op)
+		}
+	}
+}
+
 func (c *Client) handleResponse(proc int, comp verbs.Completion) {
-	if len(comp.Data) < respHdr {
+	if comp.Flushed || len(comp.Data) < respHdr {
+		return
+	}
+	// A response damaged in flight is structurally detectable: injected
+	// corruption zeroes the packet tail and scrambles the rest, so the
+	// status byte cannot hold a valid code. Reject before matching — a
+	// corrupt rMod must not complete (or fail) the wrong op.
+	if s := comp.Data[0]; s != statusOK && s != statusNotFound {
+		c.corruptResponses++
+		c.telCorrupt.Inc()
 		return
 	}
 	// Match the response to its operation by the echoed window-slot
@@ -364,6 +637,9 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	op := c.perProc[proc][idx]
 	c.perProc[proc] = append(c.perProc[proc][:idx], c.perProc[proc][idx+1:]...)
 	op.done = true
+	op.attempt++ // invalidate any armed retry timer
+	c.quarantineSlot(op)
+	c.releaseSlot(op.proc)
 	c.inflight--
 	c.completed++
 	c.telCompleted.Inc()

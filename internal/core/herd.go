@@ -109,13 +109,71 @@ type Config struct {
 	// RetryTimeout enables application-level retries: UC/UD sacrifice
 	// transport-level retransmission, so on (rare) packet loss the
 	// client rewrites its request after this much time with no response
-	// (Section 2.2.3). Zero disables retries. The timeout must comfortably
-	// exceed worst-case response latency or duplicated responses will
-	// desynchronize the client's FIFO matching.
+	// (Section 2.2.3). Zero disables retries — and with them terminal
+	// timeouts: an un-retried lost op simply never completes. The
+	// timeout must comfortably exceed worst-case response latency or
+	// duplicated responses will waste request-region writes.
 	RetryTimeout sim.Time
-	// MaxRetries bounds rewrites per operation (default 3 when retries
-	// are enabled).
+	// MaxRetries is the per-op retry budget (default 3 when retries are
+	// enabled). An op that exhausts it completes with a terminal
+	// Result.Err of ErrTimedOut instead of retrying forever.
 	MaxRetries int
+	// RetryBackoff multiplies the retry delay after each attempt
+	// (exponential backoff; default 2 when retries are enabled). 1
+	// restores the fixed-interval behavior.
+	RetryBackoff float64
+	// RetryBackoffCap bounds the backed-off delay (default 16x
+	// RetryTimeout).
+	RetryBackoffCap sim.Time
+	// RetryJitter spreads each retry delay by a uniformly random
+	// fraction in [0, RetryJitter] drawn from the client's seeded RNG,
+	// decorrelating retry storms without breaking determinism (default
+	// 0.1; negative disables).
+	RetryJitter float64
+	// ReconnectTimeout is the per-attempt timeout of the client's
+	// crash-recovery handshake (default 20x RetryTimeout). Reconnect
+	// attempts back off and jitter like retries do.
+	ReconnectTimeout sim.Time
+}
+
+// Effective retry-policy accessors: zero-valued fields mean defaults.
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries <= 0 {
+		return 3
+	}
+	return c.MaxRetries
+}
+
+func (c Config) retryBackoff() float64 {
+	if c.RetryBackoff <= 0 {
+		return 2
+	}
+	return c.RetryBackoff
+}
+
+func (c Config) retryBackoffCap() sim.Time {
+	if c.RetryBackoffCap <= 0 {
+		return 16 * c.RetryTimeout
+	}
+	return c.RetryBackoffCap
+}
+
+func (c Config) retryJitter() float64 {
+	if c.RetryJitter < 0 {
+		return 0
+	}
+	if c.RetryJitter == 0 {
+		return 0.1
+	}
+	return c.RetryJitter
+}
+
+func (c Config) reconnectTimeout() sim.Time {
+	if c.ReconnectTimeout <= 0 {
+		return 20 * c.RetryTimeout
+	}
+	return c.ReconnectTimeout
 }
 
 // DefaultConfig mirrors the paper's evaluation setup.
@@ -151,6 +209,17 @@ type Server struct {
 	dcQP      *verbs.QP // DC mode: the single DC target for all clients
 	nextCli   int
 
+	// ucByClient[c] is the server-side UC QP connected to client c's
+	// request QP (WRITE mode only); tracked so a crash can error it and
+	// a reconnect can replace it.
+	ucByClient []*verbs.QP
+
+	// Crash state: down marks the server process dead (requests are
+	// ignored, queue pairs errored); epoch increments at each crash so
+	// CPU work queued before the crash is discarded when it drains.
+	down  bool
+	epoch int
+
 	// clientUD[c][s] is client c's UD QP for responses from process s,
 	// registered at connection setup (the paper's address-handle
 	// exchange).
@@ -166,6 +235,10 @@ type Server struct {
 	deletes             uint64
 	inlineResponses     uint64
 	nonInlineResponses  uint64
+	rejected            uint64 // malformed/corrupt requests refused
+
+	// telRejected counts refused requests (nil when un-instrumented).
+	telRejected *telemetry.Counter
 
 	// slotTraces carries a request's lifecycle trace from client to
 	// server in WRITE/DC mode, where the request itself travels only as
@@ -192,8 +265,25 @@ func NewServer(m *cluster.Machine, cfg Config) (*Server, error) {
 	s.region = m.Verbs.RegisterMR(cfg.RegionSize())
 	s.parts = make([]*mica.Cache, cfg.NS)
 	s.udQPs = make([]*verbs.QP, cfg.NS)
+	s.ucByClient = make([]*verbs.QP, cfg.MaxClients)
+	s.telRejected = m.Verbs.Telemetry().Counter("herd.requests.rejected")
 	for i := range s.parts {
 		s.parts[i] = mica.New(cfg.Mica)
+	}
+	s.createQPs()
+	if !cfg.UseSendRequests {
+		s.region.Watch(0, cfg.RegionSize(), s.onRequestLanded)
+	}
+	return s, nil
+}
+
+// createQPs builds the server's NIC-side state: per-process UD QPs
+// (with the SEND/SEND RECV pool and handlers when that mode is on) and
+// the DC target. Called at construction and again at Restart, since
+// errored queue pairs cannot be revived.
+func (s *Server) createQPs() {
+	m, cfg := s.machine, s.cfg
+	for i := range s.udQPs {
 		s.udQPs[i] = m.Verbs.CreateQP(wire.UD)
 	}
 	if cfg.UseSendRequests {
@@ -205,7 +295,9 @@ func NewServer(m *cluster.Machine, cfg Config) (*Server, error) {
 		if min := 2 * cfg.Window; perProc < min {
 			perProc = min
 		}
-		s.sendStage = m.Verbs.RegisterMR(perProc * cfg.NS * SlotSize)
+		if s.sendStage == nil {
+			s.sendStage = m.Verbs.RegisterMR(perProc * cfg.NS * SlotSize)
+		}
 		for p := 0; p < cfg.NS; p++ {
 			p := p
 			for w := 0; w < perProc; w++ {
@@ -216,13 +308,73 @@ func NewServer(m *cluster.Machine, cfg Config) (*Server, error) {
 				s.onSendRequest(p, comp)
 			})
 		}
-	} else {
-		if cfg.UseDC {
-			s.dcQP = m.Verbs.CreateQP(wire.DC)
-		}
-		s.region.Watch(0, cfg.RegionSize(), s.onRequestLanded)
+	} else if cfg.UseDC {
+		s.dcQP = m.Verbs.CreateQP(wire.DC)
 	}
-	return s, nil
+}
+
+// Crash kills the server process, as a fault.CrashTarget: every
+// server-side queue pair transitions to the error state (outstanding
+// WRs flush in error), buffered responses and in-flight request traces
+// are dropped, and request-region contents are dead — a restarted
+// process re-registers the region and starts from zeroed slots. The
+// MICA partitions survive (host memory is recovered on restart); only
+// connection and request state is lost.
+func (s *Server) Crash() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.epoch++
+	for _, qp := range s.udQPs {
+		qp.SetError()
+	}
+	for _, qp := range s.ucByClient {
+		if qp != nil {
+			qp.SetError()
+		}
+	}
+	if s.dcQP != nil {
+		s.dcQP.SetError()
+	}
+	s.slotTraces = nil
+	s.respBuf = nil
+	s.respArmed = nil
+}
+
+// Restart brings a crashed server back: the request region is
+// re-registered zeroed (all pre-crash request state is gone) and fresh
+// queue pairs replace the errored ones. WRITE-mode clients must run the
+// re-registration handshake to reconnect their UC pairs; SEND/SEND and
+// DC clients address the server per-message and recover by retrying.
+func (s *Server) Restart() {
+	if !s.down {
+		return
+	}
+	buf := s.region.Bytes()
+	for i := range buf {
+		buf[i] = 0
+	}
+	s.createQPs()
+	s.down = false
+}
+
+// Down reports whether the server process is crashed.
+func (s *Server) Down() bool { return s.down }
+
+// reregister is the server half of the reconnection handshake: a live
+// server replaces the client's (errored) server-side UC QP with a fresh
+// connected one. Reports whether the handshake succeeded.
+func (s *Server) reregister(c *Client) bool {
+	if s.down || c.ucQP == nil {
+		return false
+	}
+	qp := s.machine.Verbs.CreateQP(wire.UC)
+	if err := verbs.Connect(c.ucQP, qp); err != nil {
+		return false
+	}
+	s.ucByClient[c.id] = qp
+	return true
 }
 
 // Config returns the server configuration.
@@ -247,6 +399,10 @@ func (s *Server) Stats() (gets, getHits, puts uint64) { return s.gets, s.getHits
 // Deletes reports served DELETE counts.
 func (s *Server) Deletes() uint64 { return s.deletes }
 
+// Rejected reports requests refused by the length/keyhash validity
+// checks (corrupted or malformed).
+func (s *Server) Rejected() uint64 { return s.rejected }
+
 // InlineStats reports how responses were sent.
 func (s *Server) InlineStats() (inline, nonInline uint64) {
 	return s.inlineResponses, s.nonInlineResponses
@@ -260,6 +416,9 @@ func (s *Server) InlineStats() (inline, nonInline uint64) {
 // lost) is served again: operations are idempotent, and the echoed slot
 // sequence lets the client discard duplicate responses.
 func (s *Server) onRequestLanded(off, n int) {
+	if s.down {
+		return // no process is polling a crashed server's region
+	}
 	end := off + n
 	if end%SlotSize != 0 {
 		return // not a request-format write
@@ -314,9 +473,20 @@ func (s *Server) serve(proc, client, slot int) {
 	var key kv.Key
 	copy(key[:], raw[SlotSize-keyTail:])
 	if key.IsZero() {
+		// A landed WRITE covering the slot tail always carries a client
+		// keyhash, and clients never use a zero one — so this request
+		// was corrupted in flight (injected corruption zeroes packet
+		// tails). Refuse it; the client's retry will rewrite the slot.
+		s.reject()
+		zeroTail(raw)
 		return
 	}
 	vlen := int(binary.LittleEndian.Uint16(raw[SlotSize-lenTail : SlotSize-keyTail]))
+	if !validLen(vlen) {
+		s.reject()
+		zeroTail(raw)
+		return
+	}
 	req := request{
 		proc: proc, client: client, key: key, vlen: vlen,
 		rMod: uint16(slot % s.cfg.Window), slotRaw: raw,
@@ -326,6 +496,29 @@ func (s *Server) serve(proc, client, slot int) {
 		req.value = raw[SlotSize-lenTail-vlen : SlotSize-lenTail]
 	}
 	s.execute(req)
+}
+
+// validLen reports whether a slot LEN field is structurally possible:
+// zero (GET), the DELETE sentinel, or a PUT length that fits both the
+// item-size bound and the slot. The check is how corrupt-but-delivered
+// requests are rejected (the paper leaves integrity to the application).
+func validLen(vlen int) bool {
+	return vlen == 0 || vlen == lenDelete ||
+		(vlen <= mica.MaxValueSize && vlen <= SlotSize-lenTail)
+}
+
+// reject counts one refused (malformed or corrupted) request.
+func (s *Server) reject() {
+	s.rejected++
+	s.telRejected.Inc()
+}
+
+// zeroTail clears a slot's LEN + keyhash so a rejected slot is not
+// re-served by a later overlapping landing.
+func zeroTail(raw []byte) {
+	for i := SlotSize - lenTail; i < SlotSize; i++ {
+		raw[i] = 0
+	}
 }
 
 // execute runs one request on its process's core: poll/RECV handling,
@@ -343,7 +536,12 @@ func (s *Server) execute(req request) {
 		service += s.machine.CPU.Params().RecvRepost
 	}
 
+	epoch := s.epoch
 	s.machine.CPU.Core(req.proc).Submit(service, func(at sim.Time) {
+		// Work queued before a crash dies with the process.
+		if s.down || s.epoch != epoch {
+			return
+		}
 		// The "cpu" span covers poll detection, MICA service, and
 		// response posting; what follows gets the "resp." prefix.
 		req.trace.SetPrefix("")
@@ -388,9 +586,7 @@ func (s *Server) execute(req request) {
 
 		// Free the slot for the client's next request: zero LEN + key.
 		if req.slotRaw != nil {
-			for i := SlotSize - lenTail; i < SlotSize; i++ {
-				req.slotRaw[i] = 0
-			}
+			zeroTail(req.slotRaw)
 		}
 
 		// Response: unsignaled SEND over UD, inlined below the cutoff.
@@ -460,8 +656,12 @@ const sendReqTail = 2 + 2 + 2 + kv.KeySize
 // onSendRequest handles a SEND/SEND-mode request arriving on process
 // proc's UD queue pair.
 func (s *Server) onSendRequest(proc int, comp verbs.Completion) {
+	if s.down || comp.Flushed {
+		return
+	}
 	data := comp.Data
 	if len(data) < sendReqTail {
+		s.reject()
 		return
 	}
 	// Repost the consumed RECV immediately (its CPU cost is charged in
@@ -472,12 +672,16 @@ func (s *Server) onSendRequest(proc int, comp verbs.Completion) {
 	var key kv.Key
 	copy(key[:], data[n-keyTail:])
 	if key.IsZero() {
+		// Corrupted in flight: injected corruption zeroes the packet
+		// tail, where the keyhash lives.
+		s.reject()
 		return
 	}
 	vlen := int(binary.LittleEndian.Uint16(data[n-lenTail : n-keyTail]))
 	rMod := binary.LittleEndian.Uint16(data[n-lenTail-2 : n-lenTail])
 	client := int(binary.LittleEndian.Uint16(data[n-sendReqTail : n-lenTail-2]))
-	if client >= len(s.clientUD) {
+	if client >= len(s.clientUD) || !validLen(vlen) {
+		s.reject()
 		return
 	}
 	req := request{
@@ -486,6 +690,7 @@ func (s *Server) onSendRequest(proc int, comp verbs.Completion) {
 	}
 	if vlen > 0 && vlen != lenDelete {
 		if vlen > n-sendReqTail {
+			s.reject()
 			return
 		}
 		req.value = append([]byte(nil), data[n-sendReqTail-vlen:n-sendReqTail]...)

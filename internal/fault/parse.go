@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"herdkv/internal/sim"
+	"herdkv/internal/wire"
+)
+
+// ParseSchedule parses the chaos script format: one event per line,
+// "#" comments, blank lines ignored. Each line is a keyword followed by
+// key=value fields (order-free) and bare flags:
+//
+//	loss      from=0 until=30ms rate=0.05
+//	blackout  link=1>0 from=5ms until=6ms [both]
+//	degrade   link=2>0 from=0 until=10ms rate=0.2 [both]
+//	corrupt   link=1>0 from=2ms until=3ms rate=1 [both]
+//	partition a=1,2 b=0 from=4ms until=5ms [asym]
+//	crash     node=0 at=10ms restart=20ms
+//
+// Durations take ns/us/ms/s suffixes ("0" needs none). Node IDs are the
+// cluster machine indices. The parsed schedule is validated before it is
+// returned.
+func ParseSchedule(script string) (*Schedule, error) {
+	s := &Schedule{}
+	for lineNo, raw := range strings.Split(script, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		e, err := parseEvent(fields)
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: %w", lineNo+1, err)
+		}
+		s.Events = append(s.Events, e)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseEvent parses one non-empty script line, already split on spaces.
+func parseEvent(fields []string) (Event, error) {
+	var e Event
+	switch fields[0] {
+	case "loss":
+		e.Kind = Loss
+	case "blackout":
+		e.Kind = Blackout
+	case "degrade":
+		e.Kind = Degrade
+	case "corrupt":
+		e.Kind = Corrupt
+	case "partition":
+		e.Kind = Partition
+	case "crash":
+		e.Kind = Crash
+	default:
+		return e, fmt.Errorf("unknown event %q", fields[0])
+	}
+
+	seen := map[string]bool{}
+	for _, f := range fields[1:] {
+		key, val, hasVal := strings.Cut(f, "=")
+		if seen[key] {
+			return e, fmt.Errorf("duplicate field %q", key)
+		}
+		seen[key] = true
+		if !hasVal {
+			switch key {
+			case "both":
+				e.Both = true
+			case "asym":
+				e.Asym = true
+			default:
+				return e, fmt.Errorf("unknown flag %q", key)
+			}
+			continue
+		}
+		var err error
+		switch key {
+		case "from":
+			e.From, err = parseDur(val)
+		case "until":
+			e.Until, err = parseDur(val)
+		case "at":
+			e.At, err = parseDur(val)
+		case "restart":
+			e.RestartAt, err = parseDur(val)
+		case "rate":
+			e.Rate, err = strconv.ParseFloat(val, 64)
+		case "node":
+			e.Node, err = parseNode(val)
+		case "link":
+			e.Src, e.Dst, err = parseLink(val)
+		case "a":
+			e.A, err = parseNodeSet(val)
+		case "b":
+			e.B, err = parseNodeSet(val)
+		default:
+			return e, fmt.Errorf("unknown field %q", key)
+		}
+		if err != nil {
+			return e, fmt.Errorf("field %q: %w", key, err)
+		}
+	}
+	if err := requireFields(e, seen); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// requireFields enforces per-kind mandatory fields so a typo'd script
+// fails loudly instead of silently injecting nothing.
+func requireFields(e Event, seen map[string]bool) error {
+	need := func(keys ...string) error {
+		for _, k := range keys {
+			if !seen[k] {
+				return fmt.Errorf("%v event missing field %q", e.Kind, k)
+			}
+		}
+		return nil
+	}
+	switch e.Kind {
+	case Loss:
+		return need("from", "until", "rate")
+	case Blackout:
+		return need("link", "from", "until")
+	case Degrade, Corrupt:
+		return need("link", "from", "until", "rate")
+	case Partition:
+		return need("a", "b", "from", "until")
+	case Crash:
+		return need("node", "at")
+	}
+	return nil
+}
+
+// parseDur parses a virtual-time literal: a non-negative decimal number
+// with an ns/us/ms/s suffix, or a bare "0".
+func parseDur(s string) (sim.Time, error) {
+	unit := sim.Time(0)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		unit, num = sim.Nanosecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		unit, num = sim.Microsecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ms"):
+		unit, num = sim.Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		unit, num = sim.Second, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	if unit == 0 {
+		if v != 0 {
+			return 0, fmt.Errorf("duration %q needs a ns/us/ms/s unit", s)
+		}
+		return 0, nil
+	}
+	return sim.Time(v * float64(unit)), nil
+}
+
+// parseNode parses a machine index.
+func parseNode(s string) (wire.NodeID, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad node %q", s)
+	}
+	return wire.NodeID(n), nil
+}
+
+// parseLink parses "src>dst".
+func parseLink(s string) (src, dst wire.NodeID, err error) {
+	a, b, ok := strings.Cut(s, ">")
+	if !ok {
+		return 0, 0, fmt.Errorf("link %q not of the form src>dst", s)
+	}
+	if src, err = parseNode(a); err != nil {
+		return 0, 0, err
+	}
+	if dst, err = parseNode(b); err != nil {
+		return 0, 0, err
+	}
+	if src == dst {
+		return 0, 0, fmt.Errorf("link %q connects a node to itself", s)
+	}
+	return src, dst, nil
+}
+
+// parseNodeSet parses a comma-separated machine list like "1,2,5".
+func parseNodeSet(s string) ([]wire.NodeID, error) {
+	var out []wire.NodeID
+	for _, part := range strings.Split(s, ",") {
+		n, err := parseNode(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

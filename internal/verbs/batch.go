@@ -76,6 +76,9 @@ func (qp *QP) PostSendBatch(wrs []SendWR) error {
 
 // prepareOp validates wr and builds its sendOp without posting it.
 func (qp *QP) prepareOp(wr SendWR) (*sendOp, error) {
+	if qp.errored {
+		return nil, ErrQPState
+	}
 	if !Supports(qp.transport, wr.Verb) || wr.Verb == RECV {
 		return nil, ErrVerbNotSupported
 	}

@@ -59,6 +59,9 @@ func (qp *QP) PostSend(wr SendWR) error {
 // pump issues ready head-of-queue operations in order, respecting the
 // READ window fence.
 func (qp *QP) pump() {
+	if qp.errored {
+		return // SetError already flushed the queue
+	}
 	for len(qp.opQueue) > 0 {
 		op := qp.opQueue[0]
 		if !op.ready {
@@ -136,8 +139,8 @@ func (qp *QP) transmit(op *sendOp) {
 		dst := op.dst
 		srcQP := qp
 		wr := op.wr
-		net.Send(src, dstNode, qp.transport, len(op.payload), func(sim.Time) {
-			dst.deliverWrite(srcQP, op.payload, wr)
+		net.SendData(src, dstNode, qp.transport, len(op.payload), func(d wire.Delivery) {
+			dst.deliverWrite(srcQP, damage(op.payload, d.Corrupt), wr)
 		})
 		qp.localSendComplete(op)
 
@@ -145,8 +148,8 @@ func (qp *QP) transmit(op *sendOp) {
 		dst := op.dst
 		srcQP := qp
 		tr := op.wr.Trace
-		net.Send(src, dstNode, qp.transport, len(op.payload), func(sim.Time) {
-			dst.deliverSend(srcQP, op.payload, tr)
+		net.SendData(src, dstNode, qp.transport, len(op.payload), func(d wire.Delivery) {
+			dst.deliverSend(srcQP, damage(op.payload, d.Corrupt), tr)
 		})
 		qp.localSendComplete(op)
 
@@ -158,6 +161,28 @@ func (qp *QP) transmit(op *sendOp) {
 			dst.deliverReadRequest(srcQP, op)
 		})
 	}
+}
+
+// damage models an injected corruption burst on a delivered payload:
+// the trailing 16 bytes (a keyhash, in HERD's slot formats) are zeroed
+// and the rest is bit-flipped. The transform is deterministic so
+// corrupted runs replay exactly; intact deliveries return the payload
+// untouched. Applications detect the damage structurally — HERD's
+// keyhash-nonzero and length checks reject such requests, and its
+// response status check discards such responses.
+func damage(payload []byte, corrupt bool) []byte {
+	if !corrupt {
+		return payload
+	}
+	out := make([]byte, len(payload))
+	tail := len(out) - 16
+	if tail < 0 {
+		tail = 0
+	}
+	for i := 0; i < tail; i++ {
+		out[i] = payload[i] ^ 0x5a
+	}
+	return out
 }
 
 // localSendComplete finishes the requester side of a WRITE or SEND. On
@@ -192,6 +217,11 @@ func (qp *QP) signalCompletion(wr SendWR, bytes int) {
 // (memory semantics) — except for WRITE-with-immediate, which also
 // consumes a RECV and raises a completion carrying the immediate.
 func (qp *QP) deliverWrite(src *QP, payload []byte, wr SendWR) {
+	if qp.errored {
+		qp.droppedSends++
+		qp.host.telDropped.Inc()
+		return
+	}
 	n := qp.host.nic
 	p := n.Params()
 	wr.Trace.Mark("wire", qp.host.eng.Now())
@@ -244,6 +274,11 @@ func (qp *QP) deliverWrite(src *QP, payload []byte, wr SendWR) {
 // payload and CQE to host memory, and completes on the recv CQ (channel
 // semantics — the responder CPU posted the RECV and will poll the CQE).
 func (qp *QP) deliverSend(src *QP, payload []byte, tr *telemetry.Trace) {
+	if qp.errored {
+		qp.droppedSends++
+		qp.host.telDropped.Inc()
+		return
+	}
 	n := qp.host.nic
 	p := n.Params()
 	tr.Mark("wire", qp.host.eng.Now())
@@ -286,6 +321,11 @@ func (qp *QP) deliverSend(src *QP, payload []byte, tr *telemetry.Trace) {
 // non-posted DMA read of the requested bytes from host memory, then the
 // response packet. Again no responder CPU involvement.
 func (qp *QP) deliverReadRequest(src *QP, op *sendOp) {
+	if qp.errored {
+		qp.droppedSends++
+		qp.host.telDropped.Inc()
+		return
+	}
 	n := qp.host.nic
 	p := n.Params()
 	op.wr.Trace.Mark("wire", qp.host.eng.Now())
@@ -309,6 +349,9 @@ func (qp *QP) deliverReadRequest(src *QP, op *sendOp) {
 // of payload (plus CQE if signaled) into the local region, completion,
 // and release of the READ window slot.
 func (qp *QP) deliverReadResponse(op *sendOp, data []byte) {
+	if qp.errored {
+		return // the READ was flushed in error at crash time
+	}
 	n := qp.host.nic
 	p := n.Params()
 	op.wr.Trace.Mark("resp-wire", qp.host.eng.Now())
@@ -348,7 +391,7 @@ func (qp *QP) sendAck(src *QP) {
 func (qp *QP) deliverAck() {
 	n := qp.host.nic
 	n.PU(n.Params().RxAck, func(sim.Time) {
-		if len(qp.awaitingAck) == 0 {
+		if qp.errored || len(qp.awaitingAck) == 0 {
 			return
 		}
 		pa := qp.awaitingAck[0]

@@ -65,6 +65,9 @@ var (
 	ErrNoDestination = errors.New("verbs: UD SEND requires a destination QP")
 	// ErrBounds is returned when an access falls outside a memory region.
 	ErrBounds = errors.New("verbs: access outside memory region")
+	// ErrQPState is returned when posting to a queue pair in the error
+	// state (its owning process crashed or it was explicitly errored).
+	ErrQPState = errors.New("verbs: queue pair in error state")
 )
 
 // SupportedVerbs reports Table 1 of the paper: which verbs each
@@ -139,6 +142,7 @@ type Completion struct {
 	Data     []byte // RECV: the received payload
 	SrcQPN   uint32 // RECV on UD: the sender's QP number
 	Dropped  bool   // SEND arriving with no posted RECV
+	Flushed  bool   // WR flushed in error when its QP transitioned to error
 	ImmDeliv bool   // RECV completed by a WRITE-with-immediate
 	Imm      uint32 // immediate data (ImmDeliv completions)
 
@@ -300,6 +304,14 @@ type QP struct {
 
 	droppedSends uint64 // inbound SENDs discarded for lack of a RECV
 
+	// errored marks the QP as transitioned to the error state: posted
+	// WRs flush with Flushed completions, new posts are rejected, and
+	// inbound traffic is silently discarded (the peer's NIC would see
+	// NAKs or nothing, depending on transport). A crashed process's QPs
+	// all end up here; there is no way back — recovery creates fresh
+	// queue pairs, as real verbs applications do.
+	errored bool
+
 	// qpPosted holds per-QP posted counters when the sink is QP-scoped
 	// (Sink.PerQP); nil entries are no-ops.
 	qpPosted [ATOMIC + 1]*telemetry.Counter
@@ -372,6 +384,43 @@ func (qp *QP) Host() *Host { return qp.host }
 // posted (possible on UC/UD; see PostRecv).
 func (qp *QP) DroppedSends() uint64 { return qp.droppedSends }
 
+// Errored reports whether the QP is in the error state.
+func (qp *QP) Errored() bool { return qp.errored }
+
+// SetError transitions the QP to the error state, flushing every
+// outstanding work request — queued sends, un-ACKed RC verbs, and posted
+// RECVs — to its completion queues with Flushed set. Used by the fault
+// injector when the owning process crashes: flushed-in-error completions
+// are how real RNICs report work lost to a dead QP.
+func (qp *QP) SetError() {
+	if qp.errored {
+		return
+	}
+	qp.errored = true
+	for _, op := range qp.opQueue {
+		qp.sendCQ.push(Completion{
+			QPN: qp.qpn, WRID: op.wr.WRID, Verb: op.wr.Verb,
+			At: qp.host.eng.Now(), Flushed: true,
+		})
+	}
+	qp.opQueue = nil
+	for _, pa := range qp.awaitingAck {
+		qp.sendCQ.push(Completion{
+			QPN: qp.qpn, WRID: pa.wr.WRID, Verb: pa.wr.Verb,
+			At: qp.host.eng.Now(), Flushed: true,
+		})
+	}
+	qp.awaitingAck = nil
+	for _, rb := range qp.recvQueue {
+		qp.recvCQ.push(Completion{
+			QPN: qp.qpn, WRID: rb.wrid, Verb: RECV,
+			At: qp.host.eng.Now(), Flushed: true,
+		})
+	}
+	qp.recvQueue = nil
+	qp.outstandingReads = 0
+}
+
 // Connect pairs two queue pairs on a connected transport. Both ends must
 // use the same transport type; UD and DC QPs address their peers
 // per-message and cannot be statically connected.
@@ -412,6 +461,9 @@ func (qp *QP) recvCtxKey() uint64 {
 // is dropped (UC/UD semantics; our RC model counts it as dropped too
 // rather than modeling RNR retries).
 func (qp *QP) PostRecv(mr *MR, off, n int, wrid uint64) error {
+	if qp.errored {
+		return ErrQPState
+	}
 	if off < 0 || n < 0 || off+n > len(mr.buf) {
 		return ErrBounds
 	}

@@ -4,8 +4,11 @@
 //
 // InfiniBand and RoCE employ credit-based / priority flow control, so
 // packets are never lost to congestion (Section 2.2.3); the only loss
-// source is bit errors, exposed here as an injectable loss rate used by
-// the failure-injection tests.
+// source is faults. Two fault mechanisms exist: the uniform bit-error
+// Params.LossRate, and a per-packet fault hook (SetFaultHook) through
+// which internal/fault injects link blackouts, asymmetric partitions,
+// degradation windows and corruption bursts. Both feed one decision
+// point (fate) so every packet answers to the same policy.
 package wire
 
 import "herdkv/internal/sim"
@@ -106,6 +109,33 @@ func (p Params) Header(t Transport) int {
 // NodeID identifies a host on the fabric.
 type NodeID int
 
+// Fate is the injected outcome of one packet transmission.
+type Fate int
+
+const (
+	// FateDeliver lets the packet through intact.
+	FateDeliver Fate = iota
+	// FateDrop silently discards the packet (blackout, partition, or
+	// probabilistic degradation — the receiver sees nothing).
+	FateDrop
+	// FateCorrupt delivers the packet with a damaged payload. Callers
+	// that cannot surface corruption (control packets, which hardware
+	// CRC-checks and discards) treat it as FateDrop.
+	FateCorrupt
+)
+
+// FaultHook decides the fate of a packet src->dst sent at virtual time
+// now. It runs inside the deterministic event loop, so any randomness it
+// uses must come from a seeded source.
+type FaultHook func(src, dst NodeID, now sim.Time) Fate
+
+// Delivery describes one arrived packet: when its last byte landed and
+// whether an injected fault corrupted it in flight.
+type Delivery struct {
+	At      sim.Time
+	Corrupt bool
+}
+
 type port struct {
 	egress  *sim.Server
 	ingress *sim.Server
@@ -119,9 +149,11 @@ type Network struct {
 	p     Params
 	ports map[NodeID]*port
 	rnd   *sim.Rand
+	fault FaultHook
 
-	sent    uint64
-	dropped uint64
+	sent      uint64
+	dropped   uint64
+	corrupted uint64
 }
 
 // NewNetwork returns an empty fabric.
@@ -135,6 +167,28 @@ func (n *Network) Params() Params { return n.p }
 // SetLossRate adjusts the bit-error drop probability at runtime (for
 // failure-injection tests that need deterministic loss windows).
 func (n *Network) SetLossRate(r float64) { n.p.LossRate = r }
+
+// SetFaultHook installs (or, with nil, removes) the per-packet fault
+// policy. The hook sees every packet before the uniform LossRate roll;
+// a FateDrop or FateCorrupt verdict preempts it.
+func (n *Network) SetFaultHook(fn FaultHook) { n.fault = fn }
+
+// Engine returns the simulation engine driving the fabric.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// fate is the single packet-fate decision point: the injected fault
+// hook first, then the uniform bit-error loss rate.
+func (n *Network) fate(src, dst NodeID) Fate {
+	if n.fault != nil {
+		if f := n.fault(src, dst, n.eng.Now()); f != FateDeliver {
+			return f
+		}
+	}
+	if n.p.LossRate > 0 && n.rnd.Float64() < n.p.LossRate {
+		return FateDrop
+	}
+	return FateDeliver
+}
 
 // AddNode attaches a node to the fabric. Adding an existing node is a
 // no-op.
@@ -166,22 +220,51 @@ func (n *Network) WireBytes(t Transport, payload int) int {
 	return payload + n.p.Header(t)
 }
 
-// Sent reports packets transmitted; Dropped reports bit-error losses.
-func (n *Network) Sent() uint64    { return n.sent }
-func (n *Network) Dropped() uint64 { return n.dropped }
+// Sent reports packets transmitted; Dropped reports injected losses
+// (bit errors, blackouts, partitions); Corrupted reports packets
+// delivered with a damaged payload.
+func (n *Network) Sent() uint64      { return n.sent }
+func (n *Network) Dropped() uint64   { return n.dropped }
+func (n *Network) Corrupted() uint64 { return n.corrupted }
 
 // Send transmits one packet of payload bytes from src to dst over
 // transport t. deliver runs when the packet has fully arrived; it is
-// never called if the packet is dropped.
+// never called if the packet is dropped or corrupted (control-path
+// semantics: hardware CRCs catch corruption and discard the packet).
 func (n *Network) Send(src, dst NodeID, t Transport, payload int, deliver func(sim.Time)) {
-	n.SendWire(src, dst, n.WireBytes(t, payload), deliver)
+	n.SendData(src, dst, t, payload, dropCorrupt(deliver))
+}
+
+// SendData transmits like Send but surfaces corruption: deliver runs
+// for intact AND corrupted arrivals, with Delivery.Corrupt distinguishing
+// them. Data-path verbs (UC WRITE, UD SEND) use it to land damaged
+// payloads the application must reject — the paper's Section 7 point
+// that unreliable transports push integrity to the application.
+func (n *Network) SendData(src, dst NodeID, t Transport, payload int, deliver func(Delivery)) {
+	n.sendSegmented(src, dst, n.WireBytes(t, payload), deliver)
 }
 
 // SendWire transmits a packet of an explicit wire size (used for ACKs and
 // other control packets). Wire sizes above MTU+header are segmented: each
 // segment pays its own header and serialization, and delivery fires when
-// the final segment has fully arrived.
+// the final segment has fully arrived. Corrupted control packets are
+// discarded (never delivered).
 func (n *Network) SendWire(src, dst NodeID, wireBytes int, deliver func(sim.Time)) {
+	n.sendSegmented(src, dst, wireBytes, dropCorrupt(deliver))
+}
+
+// dropCorrupt adapts a corruption-blind callback: corrupt arrivals are
+// simply discarded.
+func dropCorrupt(deliver func(sim.Time)) func(Delivery) {
+	return func(d Delivery) {
+		if d.Corrupt || deliver == nil {
+			return
+		}
+		deliver(d.At)
+	}
+}
+
+func (n *Network) sendSegmented(src, dst NodeID, wireBytes int, deliver func(Delivery)) {
 	hdr := n.p.HdrUC // segmentation framing approximated by the UC header
 	maxPkt := n.p.MTU + hdr
 	if n.p.MTU <= 0 || wireBytes <= maxPkt {
@@ -190,7 +273,8 @@ func (n *Network) SendWire(src, dst NodeID, wireBytes int, deliver func(sim.Time
 	}
 	// Split into segments, each with its own header. The message is
 	// delivered only when every segment has arrived — a dropped segment
-	// (which produces no arrival) suppresses delivery entirely.
+	// (which produces no arrival) suppresses delivery entirely, and a
+	// corrupted segment taints the whole message.
 	var sizes []int
 	rest := wireBytes
 	for rest > maxPkt {
@@ -199,29 +283,36 @@ func (n *Network) SendWire(src, dst NodeID, wireBytes int, deliver func(sim.Time
 	}
 	sizes = append(sizes, rest)
 	arrived := 0
+	tainted := false
 	for _, sz := range sizes {
-		n.sendOne(src, dst, sz, func(end sim.Time) {
+		n.sendOne(src, dst, sz, func(d Delivery) {
 			arrived++
+			tainted = tainted || d.Corrupt
 			if arrived == len(sizes) && deliver != nil {
-				deliver(end)
+				deliver(Delivery{At: d.At, Corrupt: tainted})
 			}
 		})
 	}
 }
 
-func (n *Network) sendOne(src, dst NodeID, wireBytes int, deliver func(sim.Time)) {
+func (n *Network) sendOne(src, dst NodeID, wireBytes int, deliver func(Delivery)) {
 	sp, dp := n.mustPort(src), n.mustPort(dst)
 	n.sent++
-	if n.p.LossRate > 0 && n.rnd.Float64() < n.p.LossRate {
+	corrupt := false
+	switch n.fate(src, dst) {
+	case FateDrop:
 		n.dropped++
 		return
+	case FateCorrupt:
+		n.corrupted++
+		corrupt = true
 	}
 	ser := n.SerializationTime(wireBytes)
 	sp.egress.Submit(ser, func(sim.Time) {
 		n.eng.After(n.p.PropDelay, func() {
 			dp.ingress.Submit(ser, func(end sim.Time) {
 				if deliver != nil {
-					deliver(end)
+					deliver(Delivery{At: end, Corrupt: corrupt})
 				}
 			})
 		})
