@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet lint test race bench
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,14 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/herdlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -1,0 +1,131 @@
+// go vet -vettool support: when the go command drives herdlint, it
+// invokes the binary once per package with a JSON config file argument
+// (the unitchecker protocol). This file implements just enough of that
+// protocol — read the config, type-check from the export data the go
+// command already built, run the suite, write the (empty) facts file —
+// for `go vet -vettool=<herdlint binary> ./...` to work.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"herdkv/internal/lint/analysis"
+	"herdkv/internal/lint/loader"
+)
+
+// vetConfig mirrors the fields of the go command's vet.cfg that
+// herdlint consumes.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs analyzers on the single package described by cfgFile
+// and returns the process exit code.
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "herdlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "herdlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command caches analysis facts in the Vetx file; herdlint
+	// has no cross-package facts, but the file must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "herdlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The suite checks shipped code only; tests are free to use the
+		// wall clock (mirrors loader.Load, which never loads tests).
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "herdlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "herdlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", loader.Position(fset, d.Pos), d.Message, name)
+			exit = 2
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "herdlint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+	}
+	return exit
+}

@@ -300,7 +300,7 @@ func (c *Client) issue(op *pendingOp) {
 	// Post the RECV for the response before writing the request
 	// (Section 4.3).
 	respSlot := (proc*cfg.Window + r%cfg.Window) * SlotSize
-	c.udQPs[proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(r))
+	postLossy(c.udQPs[proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(r)))
 
 	// Build the request so it ends exactly at the slot boundary: the
 	// keyhash lands last under left-to-right DMA ordering.
@@ -368,17 +368,17 @@ func (c *Client) issue(op *pendingOp) {
 func (c *Client) writeRequest(op *pendingOp) {
 	inline := len(op.payload) <= c.machine.Verbs.NIC().Params().InlineMax
 	if c.sendQP != nil {
-		c.sendQP.PostSend(verbs.SendWR{
+		postLossy(c.sendQP.PostSend(verbs.SendWR{
 			Verb:   verbs.SEND,
 			Data:   op.payload,
 			Dest:   c.srv.udQPs[op.proc],
 			Inline: inline,
 			Trace:  op.trace,
-		})
+		}))
 		return
 	}
 	if c.dcQP != nil {
-		c.dcQP.PostSend(verbs.SendWR{
+		postLossy(c.dcQP.PostSend(verbs.SendWR{
 			Verb:      verbs.WRITE,
 			Data:      op.payload,
 			Dest:      c.srv.dcQP,
@@ -386,17 +386,17 @@ func (c *Client) writeRequest(op *pendingOp) {
 			RemoteOff: op.slotOff,
 			Inline:    inline,
 			Trace:     op.trace,
-		})
+		}))
 		return
 	}
-	c.ucQP.PostSend(verbs.SendWR{
+	postLossy(c.ucQP.PostSend(verbs.SendWR{
 		Verb:      verbs.WRITE,
 		Data:      op.payload,
 		Remote:    c.srv.region,
 		RemoteOff: op.slotOff,
 		Inline:    inline,
 		Trace:     op.trace,
-	})
+	}))
 }
 
 // retryDelay computes the delay before retry number k (0-based): the
@@ -448,7 +448,7 @@ func (c *Client) armRetry(op *pendingOp) {
 		// response, not the request, was lost): post a spare RECV so the
 		// duplicate cannot starve a later operation's completion.
 		respSlot := (op.proc*c.srv.cfg.Window + op.r%c.srv.cfg.Window) * SlotSize
-		c.udQPs[op.proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(op.r))
+		postLossy(c.udQPs[op.proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(op.r)))
 		c.writeRequest(op)
 		c.armRetry(op)
 	})
@@ -598,7 +598,7 @@ func (c *Client) finishReconnect(at sim.Time) {
 			op.attempt++
 			op.trace.Mark("reconnect.reissue", at)
 			respSlot := (op.proc*c.srv.cfg.Window + op.r%c.srv.cfg.Window) * SlotSize
-			c.udQPs[op.proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(op.r))
+			postLossy(c.udQPs[op.proc].PostRecv(c.respMR, respSlot, SlotSize, uint64(op.r)))
 			c.writeRequest(op)
 			c.armRetry(op)
 		}

@@ -302,7 +302,7 @@ func (s *Server) createQPs() {
 			p := p
 			for w := 0; w < perProc; w++ {
 				slot := p*perProc + w
-				s.udQPs[p].PostRecv(s.sendStage, slot*SlotSize, SlotSize, uint64(slot))
+				postLossy(s.udQPs[p].PostRecv(s.sendStage, slot*SlotSize, SlotSize, uint64(slot)))
 			}
 			s.udQPs[p].RecvCQ().SetHandler(func(comp verbs.Completion) {
 				s.onSendRequest(p, comp)
@@ -608,7 +608,7 @@ func (s *Server) execute(req request) {
 			Trace:  req.trace,
 		}
 		if s.cfg.ResponseBatch <= 1 {
-			s.udQPs[req.proc].PostSend(wr)
+			postLossy(s.udQPs[req.proc].PostSend(wr))
 			return
 		}
 		s.bufferResponse(req.proc, wr)
@@ -646,7 +646,7 @@ func (s *Server) flushResponses(proc int) {
 	}
 	batch := s.respBuf[proc]
 	s.respBuf[proc] = nil
-	s.udQPs[proc].PostSendBatch(batch)
+	postLossy(s.udQPs[proc].PostSendBatch(batch))
 }
 
 // sendReqTail is the trailing header of a SEND-mode request:
@@ -666,7 +666,7 @@ func (s *Server) onSendRequest(proc int, comp verbs.Completion) {
 	}
 	// Repost the consumed RECV immediately (its CPU cost is charged in
 	// execute).
-	s.udQPs[proc].PostRecv(s.sendStage, int(comp.WRID)*SlotSize, SlotSize, comp.WRID)
+	postLossy(s.udQPs[proc].PostRecv(s.sendStage, int(comp.WRID)*SlotSize, SlotSize, comp.WRID))
 
 	n := len(data)
 	var key kv.Key

@@ -140,7 +140,7 @@ func doorbellMops(spec cluster.Spec, batch int) float64 {
 				dones = append(dones, func() {})
 			}
 			dones = append(dones, done)
-			sq.PostSendBatch(wrs)
+			mustPost(sq.PostSendBatch(wrs))
 		})
 	}
 	return measureMops(cl, &count)

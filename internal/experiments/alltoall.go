@@ -71,10 +71,10 @@ func allToAllMops(spec cluster.Spec, n int, mode string) float64 {
 				s := rnd.Intn(n)
 				slot := s*n + c
 				dones[slot] = append(dones[slot], done)
-				qps[s].PostSend(verbs.SendWR{
+				mustPost(qps[s].PostSend(verbs.SendWR{
 					Verb: verbs.WRITE, Data: payload,
 					Remote: srvMR, RemoteOff: slot * 64, Inline: true,
-				})
+				}))
 			})
 		}
 
@@ -110,10 +110,10 @@ func allToAllMops(spec cluster.Spec, n int, mode string) float64 {
 			pump(allToAllWindow, func(done func()) {
 				c := rnd.Intn(n)
 				dones[s*n+c] = append(dones[s*n+c], done)
-				qps[c].PostSend(verbs.SendWR{
+				mustPost(qps[c].PostSend(verbs.SendWR{
 					Verb: verbs.WRITE, Data: payload,
 					Remote: cliMRs[c], RemoteOff: s * 64, Inline: true,
-				})
+				}))
 			})
 		}
 
@@ -128,11 +128,14 @@ func allToAllMops(spec cluster.Spec, n int, mode string) float64 {
 			mr := m.Verbs.RegisterMR(1024)
 			cliQPs[c] = m.Verbs.CreateQP(wire.UD)
 			for w := 0; w < 4*allToAllWindow; w++ {
-				cliQPs[c].PostRecv(mr, 0, 1024, 0)
+				mustPost(cliQPs[c].PostRecv(mr, 0, 1024, 0))
 			}
 			cliQPs[c].RecvCQ().SetHandler(func(comp verbs.Completion) {
+				if comp.Flushed {
+					return
+				}
 				count++
-				cliQPs[c].PostRecv(mr, 0, 1024, 0)
+				mustPost(cliQPs[c].PostRecv(mr, 0, 1024, 0))
 				// Match the done by sender process (comp.SrcQPN is the
 				// server proc's UD QP number, allocated sequentially).
 				s := int(comp.SrcQPN) - 1
@@ -152,9 +155,9 @@ func allToAllMops(spec cluster.Spec, n int, mode string) float64 {
 			pump(allToAllWindow, func(done func()) {
 				c := rnd.Intn(n)
 				dones[s*n+c] = append(dones[s*n+c], done)
-				udQP.PostSend(verbs.SendWR{
+				mustPost(udQP.PostSend(verbs.SendWR{
 					Verb: verbs.SEND, Data: payload, Dest: cliQPs[c], Inline: true,
-				})
+				}))
 			})
 		}
 	}

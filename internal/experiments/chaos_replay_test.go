@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"herdkv/internal/cluster"
+)
+
+// chaosReplay keeps the first TestChaosReplayStable output for the
+// lifetime of the test process. `go test -count=2` re-enters the test
+// in the same process, so the second entry compares a complete fresh
+// execution against the first one's bytes — catching leaked global
+// state (an ambient rand, a shared cache, init-order dependence) that
+// a within-run double execution can never see. CI runs this under
+// -race -count=2 (see .github/workflows/ci.yml and docs/ROBUSTNESS.md).
+var chaosReplay struct {
+	sync.Mutex
+	first string
+}
+
+func TestChaosReplayStable(t *testing.T) {
+	out := Chaos(cluster.Apt(), testChaosSchedule(t), 7).String()
+	chaosReplay.Lock()
+	defer chaosReplay.Unlock()
+	if chaosReplay.first == "" {
+		chaosReplay.first = out
+		return
+	}
+	if out != chaosReplay.first {
+		t.Fatalf("chaos run diverged from the first in-process run (leaked global state?):\n--- first ---\n%s--- this run ---\n%s",
+			chaosReplay.first, out)
+	}
+}

@@ -67,3 +67,12 @@ func meanLatencySerial(cl *cluster.Cluster, reps int, op func(done func(sim.Time
 	}
 	return total / sim.Time(n)
 }
+
+// mustPost consumes the synchronous error from a verbs post in an
+// experiment driver. Experiments run fault-free, so a rejected post is
+// a driver bug: fail loudly rather than measure a silently idle run.
+func mustPost(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

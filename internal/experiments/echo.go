@@ -100,15 +100,15 @@ func echoMops(spec cluster.Spec, combo echoCombo, opts echoOpts, size int) float
 		srv.CPU.Core(core).Submit(cpu, func(sim.Time) {
 			e := ends[idx]
 			if combo.rspWrite {
-				e.rspWriteQP.PostSend(verbs.SendWR{
+				mustPost(e.rspWriteQP.PostSend(verbs.SendWR{
 					Verb: verbs.WRITE, Data: payload, Remote: e.cliMR,
 					Inline: inline, Signaled: signaled,
-				})
+				}))
 			} else {
-				e.rspSendQP.PostSend(verbs.SendWR{
+				mustPost(e.rspSendQP.PostSend(verbs.SendWR{
 					Verb: verbs.SEND, Data: payload, Dest: e.dstQP,
 					Inline: inline, Signaled: signaled,
-				})
+				}))
 			}
 		})
 	}
@@ -140,10 +140,10 @@ func echoMops(spec cluster.Spec, combo echoCombo, opts echoOpts, size int) float
 			// staging buffer.)
 			stage := srv.Verbs.RegisterMR(1024)
 			for w := 0; w < 2*inboundWindow; w++ {
-				srvReqQP.PostRecv(stage, 0, 1024, 0)
+				mustPost(srvReqQP.PostRecv(stage, 0, 1024, 0))
 			}
 			srvReqQP.RecvCQ().SetHandler(func(verbs.Completion) {
-				srvReqQP.PostRecv(stage, 0, 1024, 0)
+				mustPost(srvReqQP.PostRecv(stage, 0, 1024, 0))
 				respond(i, true)
 			})
 		}
@@ -172,11 +172,11 @@ func echoMops(spec cluster.Spec, combo echoCombo, opts echoOpts, size int) float
 				}
 			}
 			for w := 0; w < 2*inboundWindow; w++ {
-				e.dstQP.PostRecv(e.cliMR, 0, 1024, 0)
+				mustPost(e.dstQP.PostRecv(e.cliMR, 0, 1024, 0))
 			}
 			e.dstQP.RecvCQ().SetHandler(func(verbs.Completion) {
 				count++
-				e.dstQP.PostRecv(e.cliMR, 0, 1024, 0)
+				mustPost(e.dstQP.PostRecv(e.cliMR, 0, 1024, 0))
 				if len(e.dones) > 0 {
 					d := e.dones[0]
 					e.dones = e.dones[1:]
@@ -188,15 +188,15 @@ func echoMops(spec cluster.Spec, combo echoCombo, opts echoOpts, size int) float
 		pump(inboundWindow, func(done func()) {
 			e.dones = append(e.dones, done)
 			if combo.reqWrite {
-				reqQP.PostSend(verbs.SendWR{
+				mustPost(reqQP.PostSend(verbs.SendWR{
 					Verb: verbs.WRITE, Data: payload, Remote: srvReqMR, RemoteOff: i * 1024,
 					Inline: inline, Signaled: signaled,
-				})
+				}))
 			} else {
-				reqQP.PostSend(verbs.SendWR{
+				mustPost(reqQP.PostSend(verbs.SendWR{
 					Verb: verbs.SEND, Data: payload,
 					Inline: inline, Signaled: signaled,
-				})
+				}))
 			}
 		})
 	}

@@ -98,10 +98,10 @@ func echoLatency(spec cluster.Spec, size int, reps int) sim.Time {
 			curTrace.SetPrefix("")
 			curTrace.Mark("cpu", at)
 			curTrace.SetPrefix("resp.")
-			srvQP.PostSend(verbs.SendWR{
+			mustPost(srvQP.PostSend(verbs.SendWR{
 				Verb: verbs.WRITE, Data: srvMR.Bytes()[:size],
 				Remote: cliMR, Inline: true, Trace: curTrace,
-			})
+			}))
 		})
 	})
 
@@ -114,7 +114,7 @@ func echoLatency(spec cluster.Spec, size int, reps int) sim.Time {
 		curTrace = tel.StartTrace("ECHO", start)
 		curTrace.SetPrefix("req.")
 		onEcho = func() { done(cl.Eng.Now() - start) }
-		cliQP.PostSend(verbs.SendWR{Verb: verbs.WRITE, Data: payload, Remote: srvMR, Inline: true, Trace: curTrace})
+		mustPost(cliQP.PostSend(verbs.SendWR{Verb: verbs.WRITE, Data: payload, Remote: srvMR, Inline: true, Trace: curTrace}))
 	})
 }
 
@@ -186,20 +186,20 @@ func inboundMops(spec cluster.Spec, tr wire.Transport, verb verbs.Verb, size int
 			})
 			pump(inboundWindow, func(done func()) {
 				dones = append(dones, done)
-				cq.PostSend(verbs.SendWR{
+				mustPost(cq.PostSend(verbs.SendWR{
 					Verb: verbs.READ, Remote: srvMR, RemoteOff: p * 1024,
 					Local: local, Len: size, Signaled: true,
-				})
+				}))
 			})
 			continue
 		}
 		pump(inboundWindow, func(done func()) {
 			procDone[p] = append(procDone[p], done)
-			cq.PostSend(verbs.SendWR{
+			mustPost(cq.PostSend(verbs.SendWR{
 				Verb: verbs.WRITE, Data: payload,
 				Remote: srvMR, RemoteOff: p * 1024,
 				Inline: size <= 256,
-			})
+			}))
 		})
 	}
 	return measureMops(cl, &count)
@@ -257,7 +257,7 @@ func outboundMops(spec cluster.Spec, kind string, size int) float64 {
 			inline := kind == "wr-inline" && size <= 256
 			pump(inboundWindow, func(done func()) {
 				dones = append(dones, done)
-				sq.PostSend(verbs.SendWR{Verb: verbs.WRITE, Data: payload, Remote: cliMR, Inline: inline})
+				mustPost(sq.PostSend(verbs.SendWR{Verb: verbs.WRITE, Data: payload, Remote: cliMR, Inline: inline}))
 			})
 
 		case "send-ud":
@@ -265,12 +265,12 @@ func outboundMops(spec cluster.Spec, kind string, size int) float64 {
 			cq := m.Verbs.CreateQP(wire.UD)
 			// Keep RECVs replenished.
 			for i := 0; i < 2*inboundWindow; i++ {
-				cq.PostRecv(cliMR, 0, 4096, 0)
+				mustPost(cq.PostRecv(cliMR, 0, 4096, 0))
 			}
 			var dones []func()
 			cq.RecvCQ().SetHandler(func(verbs.Completion) {
 				count++
-				cq.PostRecv(cliMR, 0, 4096, 0)
+				mustPost(cq.PostRecv(cliMR, 0, 4096, 0))
 				if len(dones) > 0 {
 					d := dones[0]
 					dones = dones[1:]
@@ -279,7 +279,7 @@ func outboundMops(spec cluster.Spec, kind string, size int) float64 {
 			})
 			pump(inboundWindow, func(done func()) {
 				dones = append(dones, done)
-				sq.PostSend(verbs.SendWR{Verb: verbs.SEND, Data: payload, Dest: cq, Inline: size <= 256})
+				mustPost(sq.PostSend(verbs.SendWR{Verb: verbs.SEND, Data: payload, Dest: cq, Inline: size <= 256}))
 			})
 
 		case "read":
@@ -304,9 +304,9 @@ func outboundMops(spec cluster.Spec, kind string, size int) float64 {
 			})
 			pump(inboundWindow, func(done func()) {
 				dones = append(dones, done)
-				sq.PostSend(verbs.SendWR{
+				mustPost(sq.PostSend(verbs.SendWR{
 					Verb: verbs.READ, Remote: cliMR, Local: local, Len: n, Signaled: true,
-				})
+				}))
 			})
 		}
 	}

@@ -54,9 +54,9 @@ func prefetchEchoMops(spec cluster.Spec, cores, nAccesses int, prefetch bool) fl
 		service := srv.CPU.RequestService(nAccesses, prefetch)
 		srv.CPU.Core(core).Submit(service, func(sim.Time) {
 			e := ends[idx]
-			e.udSrv.PostSend(verbs.SendWR{
+			mustPost(e.udSrv.PostSend(verbs.SendWR{
 				Verb: verbs.SEND, Data: payload, Dest: e.udCli, Inline: true,
-			})
+			}))
 		})
 	})
 
@@ -75,11 +75,11 @@ func prefetchEchoMops(spec cluster.Spec, cores, nAccesses int, prefetch bool) fl
 		e.udCli = m.Verbs.CreateQP(wire.UD)
 		mr := m.Verbs.RegisterMR(1024)
 		for w := 0; w < 2*inboundWindow; w++ {
-			e.udCli.PostRecv(mr, 0, 1024, 0)
+			mustPost(e.udCli.PostRecv(mr, 0, 1024, 0))
 		}
 		e.udCli.RecvCQ().SetHandler(func(verbs.Completion) {
 			count++
-			e.udCli.PostRecv(mr, 0, 1024, 0)
+			mustPost(e.udCli.PostRecv(mr, 0, 1024, 0))
 			if len(e.dones) > 0 {
 				d := e.dones[0]
 				e.dones = e.dones[1:]
@@ -88,9 +88,9 @@ func prefetchEchoMops(spec cluster.Spec, cores, nAccesses int, prefetch bool) fl
 		})
 		pump(inboundWindow, func(done func()) {
 			e.dones = append(e.dones, done)
-			reqQP.PostSend(verbs.SendWR{
+			mustPost(reqQP.PostSend(verbs.SendWR{
 				Verb: verbs.WRITE, Data: payload, Remote: srvMR, RemoteOff: i * 1024, Inline: true,
-			})
+			}))
 		})
 	}
 	return measureMops(cl, &count)

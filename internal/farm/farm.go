@@ -226,13 +226,13 @@ func (s *Server) onPutLanded(c *Client, off, n int) {
 			raw[i] = 0
 		}
 		// Notify the client: a 1-byte WRITE (FaRM's completion path).
-		c.srvUC.PostSend(verbs.SendWR{
+		mustPost(c.srvUC.PostSend(verbs.SendWR{
 			Verb:      verbs.WRITE,
 			Data:      []byte{status},
 			Remote:    c.respMR,
 			RemoteOff: slot,
 			Inline:    true,
-		})
+		}))
 	})
 }
 
@@ -290,13 +290,13 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 		copy(payload[len(val)+2:], key[:])
 
 		c.pendingPuts = append(c.pendingPuts, &pendingPut{key: key, issuedAt: c.now(), cb: cb})
-		c.ucQP.PostSend(verbs.SendWR{
+		mustPost(c.ucQP.PostSend(verbs.SendWR{
 			Verb:      verbs.WRITE,
 			Data:      payload,
 			Remote:    c.reqMR,
 			RemoteOff: (slot+1)*SlotSize - len(payload),
 			Inline:    len(payload) <= c.machine.Verbs.NIC().Params().InlineMax,
-		})
+		}))
 	})
 	return nil
 }
@@ -386,5 +386,14 @@ func (c *Client) awaitRead(fn func()) {
 			c.readWaiters = c.readWaiters[1:]
 			next()
 		})
+	}
+}
+
+// mustPost consumes the synchronous error from a verbs post. FaRM-em
+// implements no crash recovery, so any rejected post — including an
+// errored queue pair — is unsupported territory: fail loudly.
+func mustPost(err error) {
+	if err != nil {
+		panic(err)
 	}
 }

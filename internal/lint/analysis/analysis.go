@@ -1,0 +1,122 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis API surface that herdlint's
+// analyzers program against. The container this repo builds in has no
+// module proxy access, so rather than vendoring x/tools we keep the
+// same shapes (Analyzer, Pass, Diagnostic) on the standard library's
+// go/ast + go/types; if x/tools ever becomes available the analyzers
+// port by changing one import path.
+//
+// Beyond the x/tools surface it bakes in one repo convention: the
+// `//lint:allow <analyzer> — reason` suppression comment (see
+// docs/STATIC_ANALYSIS.md). Suppression is applied centrally by
+// Pass.Report, so individual analyzers never re-implement it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name>` suppression comments.
+	Name string
+	// Doc is the analyzer's help text; the first line is the summary.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic. Installed by the driver; analyzers
+	// normally call Reportf instead.
+	Report func(Diagnostic)
+
+	// allowed maps file -> lines carrying (or immediately following) a
+	// `//lint:allow` comment naming this analyzer. Built lazily.
+	allowed map[*token.File]map[int]bool
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos, unless the line is
+// suppressed by a `//lint:allow <analyzer>` comment on the same line or
+// the line above.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// suppressed reports whether pos falls on a line covered by an allow
+// comment for this analyzer.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	if p.allowed == nil {
+		p.buildAllowed()
+	}
+	return p.allowed[tf][tf.Line(pos)]
+}
+
+func (p *Pass) buildAllowed() {
+	p.allowed = make(map[*token.File]map[int]bool)
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		lines := p.allowed[tf]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseAllow(c.Text)
+				if !ok || (name != p.Analyzer.Name && name != "all") {
+					continue
+				}
+				if lines == nil {
+					lines = make(map[int]bool)
+					p.allowed[tf] = lines
+				}
+				// The comment covers its own line (trailing form) and
+				// the next line (preceding form).
+				ln := tf.Line(c.End())
+				lines[ln] = true
+				lines[ln+1] = true
+			}
+		}
+	}
+}
+
+// parseAllow recognizes `//lint:allow <name> [— reason]` and returns
+// the analyzer name. A bare `//lint:allow` without a name matches
+// nothing: the convention requires naming the check being silenced.
+func parseAllow(text string) (name string, ok bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	if rest == "" {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	return fields[0], true
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//lint:allow simtime — wall clock is the point here", "simtime", true},
+		{"//lint:allow verbsmatrix", "verbsmatrix", true},
+		{"//lint:allow all — generated code", "all", true},
+		{"//lint:allow", "", false},
+		{"//lint:allow   ", "", false},
+		{"// lint:allow simtime", "", false},
+		{"// ordinary comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseAllow(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("parseAllow(%q) = (%q, %v), want (%q, %v)", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+// TestSuppression checks that Reportf drops diagnostics on lines
+// covered by an allow comment — the comment's own line (trailing form)
+// and the line after it (preceding form) — and only for the named
+// analyzer.
+func TestSuppression(t *testing.T) {
+	const src = `package p
+
+func f() {
+	_ = 1 //lint:allow demo — trailing form
+	//lint:allow demo — preceding form
+	_ = 2
+	_ = 3
+	_ = 4 //lint:allow other — different analyzer
+	_ = 5 //lint:allow all
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "demo"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report: func(d Diagnostic) {
+			got = append(got, fset.Position(d.Pos).Line)
+		},
+	}
+	base := fset.File(f.Pos())
+	for line := 4; line <= 9; line++ {
+		pass.Reportf(base.LineStart(line), "finding on line %d", line)
+	}
+	want := []int{7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("reported lines %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reported lines %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package analysistest runs herdlint analyzers over fixture packages
+// and checks their diagnostics against `// want "regexp"` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest (which this
+// container cannot fetch).
+//
+// Fixtures live in a GOPATH-style tree: <testdata>/src/<importpath>/.
+// A line expecting diagnostics carries a trailing comment of the form
+//
+//	qp.PostSend(...) // want `READ posted on a UD queue pair`
+//
+// with one or more back-quoted or double-quoted regular expressions,
+// each of which must match a distinct diagnostic reported on that
+// line. Lines without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"herdkv/internal/lint/analysis"
+	"herdkv/internal/lint/loader"
+)
+
+// Run loads each fixture package from testdata/src and applies a, then
+// compares diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	pkgs, err := loader.LoadTestdata(testdata, ".", pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", pkg.PkgPath, terr)
+		}
+		checkPackage(t, a, pkg)
+	}
+}
+
+// expectation is one want-regexp at a file line, not yet matched.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *loader.Package) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, err := parseWant(c.Text)
+				if err != nil {
+					t.Errorf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+					continue
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{
+						file: tf.Name(), line: tf.Line(c.Pos()), re: re,
+					})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg.PkgPath, a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim consumes the first unmatched expectation for (file, line) whose
+// regexp matches msg.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.re != nil && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.re = nil
+			return true
+		}
+	}
+	return false
+}
+
+// parseWant extracts the regexps from a `// want ...` comment; most
+// comments are not want comments and return (nil, nil).
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var res []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated back-quoted want pattern")
+			}
+			lit = rest[1 : 1+end]
+			rest = rest[2+end:]
+		case '"':
+			parsed, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern: %v", err)
+			}
+			lit, err = strconv.Unquote(parsed)
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern: %v", err)
+			}
+			rest = rest[len(parsed):]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		res = append(res, re)
+		rest = strings.TrimSpace(rest)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return res, nil
+}

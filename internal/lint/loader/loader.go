@@ -1,0 +1,299 @@
+// Package loader type-checks Go packages for herdlint without
+// golang.org/x/tools: it shells out to `go list -export` for package
+// metadata and compiled export data (the go command builds and caches
+// these locally, no network), parses the target packages' sources with
+// go/parser, and type-checks them with go/types using the standard
+// library's gc export-data importer for every dependency.
+//
+// Two entry points:
+//
+//   - Load: module-aware loading by pattern (what cmd/herdlint uses).
+//   - LoadTestdata: GOPATH-style loading of fixture trees under a
+//     testdata/src root (what analysistest uses) — fixture-local
+//     imports resolve inside the tree, everything else (stdlib, module
+//     packages) falls back to export data.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	// TypeErrors holds non-fatal type-checking errors (missing export
+	// data for an optional dependency, etc.). Analyzers still run; the
+	// driver decides whether to surface them.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with args in dir and decodes the JSON stream.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const jsonFields = "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error"
+
+// Load type-checks the packages matching patterns, resolved from dir
+// (any directory inside the module). Test files are not loaded: the
+// suite checks shipped code, and tests are free to use the wall clock.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"-e", "-export", "-deps", jsonFields}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports, dir)
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses files and type-checks them as one package.
+func check(fset *token.FileSet, path, dir string, fileNames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{PkgPath: path, Dir: dir, Fset: fset, Files: files}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(path, fset, files, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		return nil, err
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// exportImporter resolves imports from gc export data files, fetching
+// metadata for paths it has not seen via `go list -export`.
+type exportImporter struct {
+	gc      types.ImporterFrom
+	exports map[string]string
+	listDir string // directory go list runs in for unknown paths
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string, listDir string) *exportImporter {
+	e := &exportImporter{exports: exports, listDir: listDir}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := e.exports[path]
+		if !ok {
+			// Lazily resolve paths outside the initial -deps closure
+			// (testdata fixtures importing stdlib, for example).
+			listed, err := goList(e.listDir, "-export", "-deps", jsonFields, path)
+			if err != nil {
+				return nil, fmt.Errorf("no export data for %q: %v", path, err)
+			}
+			for _, p := range listed {
+				if p.Export != "" {
+					e.exports[p.ImportPath] = p.Export
+				}
+			}
+			if file, ok = e.exports[path]; !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	}
+	e.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return e.gc.ImportFrom(path, dir, mode)
+}
+
+// LoadTestdata type-checks fixture packages from a GOPATH-style tree:
+// srcRoot/src/<importPath>/*.go. Imports that resolve inside the tree
+// are type-checked from source (recursively); all other imports fall
+// back to export data resolved from modDir (any directory inside the
+// module — usually the calling test's directory).
+func LoadTestdata(srcRoot, modDir string, importPaths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	td := &testdataImporter{
+		srcRoot:  srcRoot,
+		fset:     fset,
+		cache:    make(map[string]*Package),
+		external: newExportImporter(fset, make(map[string]string), modDir),
+	}
+	var out []*Package
+	for _, path := range importPaths {
+		pkg, err := td.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+type testdataImporter struct {
+	srcRoot  string
+	fset     *token.FileSet
+	cache    map[string]*Package
+	external *exportImporter
+	loading  []string // cycle detection
+}
+
+// dir returns the source directory for a fixture import path, or "".
+func (td *testdataImporter) dir(path string) string {
+	d := filepath.Join(td.srcRoot, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(d); err == nil && st.IsDir() {
+		return d
+	}
+	return ""
+}
+
+func (td *testdataImporter) load(path string) (*Package, error) {
+	if pkg, ok := td.cache[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range td.loading {
+		if p == path {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+	}
+	dir := td.dir(path)
+	if dir == "" {
+		return nil, fmt.Errorf("no fixture package %q under %s/src", path, td.srcRoot)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var fileNames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			fileNames = append(fileNames, e.Name())
+		}
+	}
+	sort.Strings(fileNames)
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", path)
+	}
+	td.loading = append(td.loading, path)
+	defer func() { td.loading = td.loading[:len(td.loading)-1] }()
+	pkg, err := check(td.fset, path, dir, fileNames, (*fixtureResolver)(td))
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: %v", path, err)
+	}
+	td.cache[path] = pkg
+	return pkg, nil
+}
+
+// fixtureResolver adapts testdataImporter to types.Importer: fixture
+// paths load from source, others via export data.
+type fixtureResolver testdataImporter
+
+func (r *fixtureResolver) Import(path string) (*types.Package, error) {
+	td := (*testdataImporter)(r)
+	if td.dir(path) != "" {
+		pkg, err := td.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return td.external.Import(path)
+}
+
+// Position formats pos relative to dir when possible, matching the
+// compact file:line:col style vet emits.
+func Position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return p.Filename + ":" + strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
+}

@@ -1,0 +1,132 @@
+// Package simtime implements the herdlint analyzer that keeps wall
+// time and ambient randomness out of the deterministic core.
+//
+// Every calibration claim in EXPERIMENTS.md and the fault-replay
+// guarantee in docs/ROBUSTNESS.md rest on byte-identical reruns: the
+// simulation must derive all nondeterminism from the virtual clock
+// (sim.Clock) and explicitly seeded sources (sim.Rand). A single
+// time.Now() or global rand.Intn() in a model package silently breaks
+// replay in a way no unit test reliably catches — the failure only
+// shows up as an unreproducible chaos run much later.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"herdkv/internal/lint/analysis"
+)
+
+// Doc is the analyzer's help text.
+const Doc = `forbid wall-clock time and ambient math/rand in deterministic packages
+
+Model packages must draw time from sim.Clock (the engine's virtual
+clock) and randomness from sim.Rand or an explicitly threaded seed.
+time.Now/Sleep/After/Since and the process-global math/rand functions
+make fault-schedule replay nondeterministic. Suppress a deliberate use
+with: //lint:allow simtime — <reason>.`
+
+// Analyzer is the simtime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc:  Doc,
+	Run:  run,
+}
+
+// forbiddenTime lists time package functions that read or schedule on
+// the wall clock. time.Duration arithmetic and constants stay legal.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Since": true, "Until": true, "Tick": true, "NewTimer": true,
+	"NewTicker": true,
+}
+
+// globalRand lists math/rand package functions that mutate or draw from
+// the process-global source.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+// deterministicPkgs names the model packages (matched against the last
+// import-path segment) whose behavior must be a pure function of seed
+// and configuration. cmd/* stays free to use the wall clock for
+// progress reporting, and _test.go files are never loaded.
+var deterministicPkgs = map[string]bool{
+	"sim": true, "wire": true, "verbs": true, "nic": true, "pcie": true,
+	"fault": true, "core": true, "cluster": true, "experiments": true,
+	"workload": true, "stats": true, "hostmem": true, "kv": true,
+	"mica": true, "cuckoo": true, "hopscotch": true, "farm": true,
+	"pilaf": true, "telemetry": true,
+}
+
+// Deterministic reports whether the package at path is held to the
+// determinism contract.
+func Deterministic(path string) bool {
+	if strings.Contains(path, "/lint/") || strings.HasSuffix(path, "/lint") {
+		return false
+	}
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	return deterministicPkgs[path]
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// The import itself is the first diagnostic: a deterministic
+		// package has no business depending on math/rand at all.
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(),
+					"deterministic package imports %s; draw randomness through sim.Rand so seeds flow from one place", imp.Path.Value)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			fn, isFunc := obj.(*types.Func)
+			if !isFunc {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on rand.Rand etc. carry explicit state
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if forbiddenTime[obj.Name()] {
+					pass.Reportf(id.Pos(),
+						"time.%s reads the wall clock in a deterministic package; use sim.Clock (engine Now/At/After) instead", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRand[obj.Name()] {
+					pass.Reportf(id.Pos(),
+						"rand.%s draws from the process-global source; thread a *sim.Rand (explicit seed) through instead", obj.Name())
+				} else if obj.Name() == "New" || obj.Name() == "NewSource" || obj.Name() == "NewPCG" || obj.Name() == "NewChaCha8" {
+					pass.Reportf(id.Pos(),
+						"construct model randomness via sim.NewRand, not rand.%s, so every seed is threaded from configuration", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,35 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"herdkv/internal/lint/analysistest"
+	"herdkv/internal/lint/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	// "core" is in the deterministic set (positive cases plus the
+	// //lint:allow escape hatch); "tools" is not (all uses legal).
+	analysistest.Run(t, "../testdata", simtime.Analyzer, "core", "tools")
+}
+
+func TestDeterministic(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"herdkv/internal/core", true},
+		{"herdkv/internal/wire", true},
+		{"herdkv/internal/workload", true},
+		{"core", true},
+		{"herdkv/cmd/herdbench", false},
+		{"herdkv/internal/lint/simtime", false},
+		{"herdkv/internal/lint", false},
+		{"time", false},
+	}
+	for _, c := range cases {
+		if got := simtime.Deterministic(c.path); got != c.want {
+			t.Errorf("Deterministic(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

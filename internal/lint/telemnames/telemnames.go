@@ -1,0 +1,101 @@
+// Package telemnames implements the herdlint analyzer that pins
+// telemetry names to the dotted grammar documented in
+// docs/OBSERVABILITY.md. Counters are addressed by name across the
+// whole cluster and scraped by dashboards as plain strings: a typo'd
+// or free-form name never fails a test, it just produces a metric
+// nobody's queries match. Forcing names to be literals in the grammar
+// makes the catalog greppable and the dashboards trustworthy.
+package telemnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"herdkv/internal/lint/analysis"
+)
+
+// Doc is the analyzer's help text.
+const Doc = `require literal, grammar-conforming telemetry names
+
+Sink.Counter/Gauge/Histogram names must be string literals (or named
+string constants) of the form seg.seg[.seg...] — lowercase first
+segment, [A-Za-z0-9_] segments — and Trace.Mark / Trace.SetPrefix
+stage names must be lowercase dotted/hyphenated stages, as catalogued
+in docs/OBSERVABILITY.md. Intentionally dynamic names (per-verb or
+per-QP counters) carry //lint:allow telemnames — <reason>.`
+
+// Analyzer is the telemnames check.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemnames",
+	Doc:  Doc,
+	Run:  run,
+}
+
+// Grammars (docs/OBSERVABILITY.md "Metric catalog" and "Trace span
+// reference"). Metric names: at least two dotted segments, the first
+// identifying the emitting layer in lowercase. Stage names: lowercase
+// dotted/hyphenated. Prefixes: empty, or dot-terminated stages.
+var (
+	metricRE = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[A-Za-z0-9_]+)+$`)
+	stageRE  = regexp.MustCompile(`^[a-z][a-z0-9-]*(\.[a-z][a-z0-9-]*)*$`)
+	prefixRE = regexp.MustCompile(`^$|^([a-z][a-z0-9-]*\.)+$`)
+)
+
+// metricMethods maps telemetry method names to the grammar their first
+// argument must satisfy.
+var metricMethods = map[string]*regexp.Regexp{
+	"Counter":   metricRE,
+	"Gauge":     metricRE,
+	"Histogram": metricRE,
+	"Mark":      stageRE,
+	"SetPrefix": prefixRE,
+}
+
+var kindNoun = map[string]string{
+	"Counter": "counter", "Gauge": "gauge", "Histogram": "histogram",
+	"Mark": "trace stage", "SetPrefix": "trace prefix",
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "telemetry" {
+		// The registry itself builds names generically.
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "telemetry" {
+				return true
+			}
+			re, tracked := metricMethods[fn.Name()]
+			if !tracked {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"telemetry %s name is not a string literal; dashboards grep for literal names (docs/OBSERVABILITY.md) — make it constant or carry //lint:allow telemnames with a reason",
+					kindNoun[fn.Name()])
+				return true
+			}
+			if name := constant.StringVal(tv.Value); !re.MatchString(name) {
+				pass.Reportf(arg.Pos(),
+					"telemetry %s name %q does not match the %s grammar %s (docs/OBSERVABILITY.md)",
+					kindNoun[fn.Name()], name, kindNoun[fn.Name()], re)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

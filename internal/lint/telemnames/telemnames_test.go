@@ -1,0 +1,12 @@
+package telemnames_test
+
+import (
+	"testing"
+
+	"herdkv/internal/lint/analysistest"
+	"herdkv/internal/lint/telemnames"
+)
+
+func TestTelemNames(t *testing.T) {
+	analysistest.Run(t, "../testdata", telemnames.Analyzer, "tnfix")
+}

@@ -1,0 +1,32 @@
+// Package core is the simtime fixture: its import path's last segment
+// ("core") is in the analyzer's deterministic set, so wall-clock and
+// ambient-rand uses below must be reported.
+package core
+
+import (
+	"math/rand" // want `deterministic package imports "math/rand"`
+	"time"
+)
+
+// Clock is the injected-time shape the analyzer points callers toward.
+type Clock interface{ Now() int64 }
+
+func bad() int64 {
+	t := time.Now()                  // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)     // want `time\.Sleep reads the wall clock`
+	n := rand.Intn(10)               // want `rand\.Intn draws from the process-global source`
+	r := rand.New(rand.NewSource(7)) // want `not rand\.New,` `not rand\.NewSource,`
+	return t.UnixNano() + int64(n) + r.Int63()
+}
+
+func good(clk Clock, r *rand.Rand) int64 {
+	// Duration arithmetic and methods on an explicitly constructed
+	// source are legal; only wall-clock reads and the package-level
+	// funcs are ambient state.
+	d := 3 * time.Millisecond
+	return clk.Now() + int64(d) + r.Int63()
+}
+
+func allowed() int {
+	return rand.Int() //lint:allow simtime — fixture demonstrates the escape hatch
+}

@@ -1,0 +1,35 @@
+// Package telemetry is a fixture stub mirroring the name-taking
+// surface of herdkv/internal/telemetry (the telemnames analyzer
+// matches methods by name on a package named "telemetry").
+package telemetry
+
+// Counter is a monotonic counter handle.
+type Counter struct{}
+
+// Gauge is a gauge handle.
+type Gauge struct{}
+
+// Histogram is a histogram handle.
+type Histogram struct{}
+
+// Sink is a metrics registry.
+type Sink struct{}
+
+// Counter returns the named counter.
+func (s *Sink) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge returns the named gauge.
+func (s *Sink) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram returns the named histogram.
+func (s *Sink) Histogram(name string) *Histogram { return &Histogram{} }
+
+// Trace is one request's lifecycle trace.
+type Trace struct{}
+
+// Mark closes the span since the previous mark under the given stage
+// name.
+func (t *Trace) Mark(stage string, at int64) {}
+
+// SetPrefix prepends p to subsequent stage names.
+func (t *Trace) SetPrefix(p string) {}

@@ -1,0 +1,30 @@
+// Package tnfix is the telemnames fixture: telemetry names must be
+// literal and match the dotted grammar of docs/OBSERVABILITY.md.
+package tnfix
+
+import "telemetry"
+
+// A named string constant folds to a literal and is acceptable.
+const reqBytes = "client.req_bytes"
+
+func metrics(s *telemetry.Sink, verbName string) {
+	s.Counter("verbs.WRITE.posted")
+	s.Gauge("nic.sq.depth")
+	s.Histogram(reqBytes)
+
+	s.Counter("Bad Name")                      // want `does not match the counter grammar`
+	s.Gauge("nakedname")                       // want `does not match the gauge grammar`
+	s.Counter("verbs." + verbName + ".posted") // want `counter name is not a string literal`
+
+	s.Histogram("verbs." + verbName + ".bytes") //lint:allow telemnames — fixture demonstrates the escape hatch
+}
+
+func traces(tr *telemetry.Trace) {
+	tr.Mark("resp-wire", 0)
+	tr.Mark("reconnect.reissue", 1)
+	tr.SetPrefix("req.")
+	tr.SetPrefix("")
+
+	tr.Mark("RespWire", 2) // want `does not match the trace stage grammar`
+	tr.SetPrefix("req")    // want `does not match the trace prefix grammar`
+}

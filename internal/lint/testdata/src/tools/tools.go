@@ -1,0 +1,11 @@
+// Package tools is the simtime negative fixture: "tools" is not a
+// deterministic package, so wall-clock use here is legal (the analyzer
+// must stay silent, like it does for cmd/*).
+package tools
+
+import "time"
+
+// Uptime reads the wall clock; fine outside the model.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,37 @@
+// Package upfix is the uncheckedpost fixture: discarded verbs errors
+// and completion payloads read without a status check.
+package upfix
+
+import "verbs"
+
+func discards(qp *verbs.QP, mr *verbs.MR) {
+	qp.PostSend(verbs.SendWR{Signaled: true})     // want `error from verbs PostSend discarded`
+	qp.PostRecv(mr, 0, 64, 1)                     // want `error from verbs PostRecv discarded`
+	_ = qp.PostSend(verbs.SendWR{Signaled: true}) // want `error from verbs PostSend assigned to _`
+	go qp.PostRecv(mr, 0, 64, 2)                  // want `discarded by go statement`
+	defer qp.PostRecv(mr, 0, 64, 3)               // want `discarded by defer statement`
+}
+
+func checked(qp *verbs.QP, mr *verbs.MR) error {
+	// Consumed errors: no diagnostics.
+	if err := qp.PostRecv(mr, 0, 64, 1); err != nil {
+		return err
+	}
+	return verbs.Connect(qp, qp)
+}
+
+func allowedDiscard(qp *verbs.QP, mr *verbs.MR) {
+	qp.PostRecv(mr, 0, 64, 9) //lint:allow uncheckedpost — fixture demonstrates the escape hatch
+}
+
+func payloadUnchecked(comp verbs.Completion) byte {
+	return comp.Data[0] // want `Completion\.Data read without checking Flushed`
+}
+
+func payloadChecked(comp verbs.Completion) byte {
+	// A status check anywhere in the function clears the payload reads.
+	if comp.Flushed {
+		return 0
+	}
+	return comp.Data[0]
+}

@@ -1,0 +1,15 @@
+// Package wire is a fixture stub mirroring the transport constants of
+// herdkv/internal/wire (same names, same iota order — the analyzers
+// match on package name and constant value).
+package wire
+
+// Transport identifies the RDMA transport a packet travels on.
+type Transport int
+
+// Transport types, in the same order as internal/wire.
+const (
+	RC Transport = iota
+	UC
+	UD
+	DC
+)

@@ -1,0 +1,12 @@
+package uncheckedpost_test
+
+import (
+	"testing"
+
+	"herdkv/internal/lint/analysistest"
+	"herdkv/internal/lint/uncheckedpost"
+)
+
+func TestUncheckedPost(t *testing.T) {
+	analysistest.Run(t, "../testdata", uncheckedpost.Analyzer, "upfix")
+}

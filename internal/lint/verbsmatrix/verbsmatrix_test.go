@@ -1,0 +1,12 @@
+package verbsmatrix_test
+
+import (
+	"testing"
+
+	"herdkv/internal/lint/analysistest"
+	"herdkv/internal/lint/verbsmatrix"
+)
+
+func TestVerbsMatrix(t *testing.T) {
+	analysistest.Run(t, "../testdata", verbsmatrix.Analyzer, "vmfix")
+}

@@ -174,7 +174,7 @@ func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
 	// SEND ack.
 	stage := s.machine.Verbs.RegisterMR(s.cfg.Window * (putHdr + cuckoo.MaxValueSize))
 	for w := 0; w < s.cfg.Window; w++ {
-		c.srvUC.PostRecv(stage, w*(putHdr+cuckoo.MaxValueSize), putHdr+cuckoo.MaxValueSize, uint64(w))
+		mustPost(c.srvUC.PostRecv(stage, w*(putHdr+cuckoo.MaxValueSize), putHdr+cuckoo.MaxValueSize, uint64(w)))
 	}
 	c.srvUC.RecvCQ().SetHandler(func(comp verbs.Completion) { s.handlePut(c, stage, comp) })
 
@@ -184,6 +184,9 @@ func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
 
 // handlePut services one PUT message on a server core.
 func (s *Server) handlePut(c *Client, stage *verbs.MR, comp verbs.Completion) {
+	if comp.Flushed {
+		return
+	}
 	data := append([]byte(nil), comp.Data...)
 	core := s.nextCore % s.cfg.Cores
 	s.nextCore++
@@ -210,14 +213,14 @@ func (s *Server) handlePut(c *Client, stage *verbs.MR, comp verbs.Completion) {
 		s.puts++
 		// Repost the consumed RECV slot.
 		w := comp.WRID
-		c.srvUC.PostRecv(stage, int(w)*(putHdr+cuckoo.MaxValueSize), putHdr+cuckoo.MaxValueSize, w)
+		mustPost(c.srvUC.PostRecv(stage, int(w)*(putHdr+cuckoo.MaxValueSize), putHdr+cuckoo.MaxValueSize, w))
 		// Ack: inlined unsignaled SEND.
-		c.srvUC.PostSend(verbs.SendWR{Verb: verbs.SEND, Data: []byte{status}, Inline: true})
+		mustPost(c.srvUC.PostSend(verbs.SendWR{Verb: verbs.SEND, Data: []byte{status}, Inline: true}))
 	})
 }
 
 func (c *Client) handleAck(comp verbs.Completion) {
-	if len(c.pendingPuts) == 0 {
+	if comp.Flushed || len(c.pendingPuts) == 0 {
 		return
 	}
 	op := c.pendingPuts[0]
@@ -244,7 +247,7 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 	val := append([]byte(nil), value...)
 	c.startOp(func() {
 		// Post the ack RECV before the request.
-		c.ucQP.PostRecv(c.ackMR, 0, ackSize, 0)
+		mustPost(c.ucQP.PostRecv(c.ackMR, 0, ackSize, 0))
 
 		msg := make([]byte, putHdr+len(val))
 		copy(msg, key[:])
@@ -252,11 +255,11 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 		copy(msg[putHdr:], val)
 
 		c.pendingPuts = append(c.pendingPuts, &putOp{key: key, issuedAt: c.now(), cb: cb})
-		c.ucQP.PostSend(verbs.SendWR{
+		mustPost(c.ucQP.PostSend(verbs.SendWR{
 			Verb:   verbs.SEND,
 			Data:   msg,
 			Inline: len(msg) <= c.machine.Verbs.NIC().Params().InlineMax,
-		})
+		}))
 	})
 	return nil
 }
@@ -371,5 +374,14 @@ func (c *Client) awaitRead(fn func()) {
 			c.readWaiters = c.readWaiters[1:]
 			next()
 		})
+	}
+}
+
+// mustPost consumes the synchronous error from a verbs post. Pilaf-em
+// implements no crash recovery, so any rejected post — including an
+// errored queue pair — is unsupported territory: fail loudly.
+func mustPost(err error) {
+	if err != nil {
+		panic(err)
 	}
 }

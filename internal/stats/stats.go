@@ -9,7 +9,6 @@
 package stats
 
 import (
-	"math/rand"
 	"sort"
 
 	"herdkv/internal/sim"
@@ -25,7 +24,7 @@ type LatencyRecorder struct {
 	sum     sim.Time
 	min     sim.Time
 	max     sim.Time
-	rnd     *rand.Rand
+	rnd     *sim.Rand
 	sorted  bool
 }
 
@@ -37,7 +36,7 @@ func NewLatencyRecorder(capacity int) *LatencyRecorder {
 	}
 	return &LatencyRecorder{
 		cap: capacity,
-		rnd: rand.New(rand.NewSource(1)),
+		rnd: sim.NewRand(1),
 		min: 1<<63 - 1,
 	}
 }

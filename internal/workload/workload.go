@@ -7,9 +7,9 @@ package workload
 
 import (
 	"math"
-	"math/rand"
 
 	"herdkv/internal/kv"
+	"herdkv/internal/sim"
 )
 
 // Op is one client request.
@@ -56,7 +56,7 @@ func Skewed(keys uint64, valueSize int, seed int64) Config {
 // Generator produces a deterministic op stream.
 type Generator struct {
 	cfg  Config
-	rnd  *rand.Rand
+	rnd  *sim.Rand
 	zipf *Zipf
 	val  []byte
 }
@@ -66,7 +66,7 @@ func NewGenerator(cfg Config) *Generator {
 	if cfg.Keys == 0 {
 		cfg.Keys = 1
 	}
-	g := &Generator{cfg: cfg, rnd: rand.New(rand.NewSource(cfg.Seed))}
+	g := &Generator{cfg: cfg, rnd: sim.NewRand(cfg.Seed)}
 	if cfg.ZipfTheta > 0 {
 		g.zipf = NewZipf(cfg.Keys, cfg.ZipfTheta, g.rnd)
 	}
@@ -122,11 +122,11 @@ type Zipf struct {
 	alpha float64
 	zetan float64
 	eta   float64
-	rnd   *rand.Rand
+	rnd   *sim.Rand
 }
 
 // NewZipf prepares a sampler over [0, n).
-func NewZipf(n uint64, theta float64, rnd *rand.Rand) *Zipf {
+func NewZipf(n uint64, theta float64, rnd *sim.Rand) *Zipf {
 	if n == 0 {
 		n = 1
 	}

@@ -2,12 +2,12 @@ package workload
 
 import (
 	"bytes"
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
 
 	"herdkv/internal/kv"
+	"herdkv/internal/sim"
 )
 
 func TestGetFraction(t *testing.T) {
@@ -56,7 +56,7 @@ func TestZipfSkew(t *testing.T) {
 	// Zipf(.99): the most popular key must dominate; the paper notes the
 	// hottest key is ~1e5 times more popular than the average over 480M
 	// keys. At 100k keys the ratio is smaller but still large.
-	rnd := rand.New(rand.NewSource(1))
+	rnd := sim.NewRand(1)
 	z := NewZipf(100000, 0.99, rnd)
 	counts := make(map[uint64]int)
 	n := 500000
@@ -73,7 +73,7 @@ func TestZipfSkew(t *testing.T) {
 func TestZipfRankMonotonicity(t *testing.T) {
 	// Popularity must be non-increasing in rank (allowing noise): check
 	// decile mass ordering.
-	rnd := rand.New(rand.NewSource(2))
+	rnd := sim.NewRand(2)
 	z := NewZipf(1000, 0.99, rnd)
 	counts := make([]int, 1000)
 	for i := 0; i < 300000; i++ {
@@ -99,7 +99,7 @@ func TestZipfRankMonotonicity(t *testing.T) {
 func TestZipfRangeProperty(t *testing.T) {
 	f := func(seed int64, nRaw uint16) bool {
 		n := uint64(nRaw%1000) + 2
-		rnd := rand.New(rand.NewSource(seed))
+		rnd := sim.NewRand(seed)
 		z := NewZipf(n, 0.99, rnd)
 		for i := 0; i < 200; i++ {
 			if z.Next() >= n {
