@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench
+.PHONY: all build vet lint test race bench microbench
 
 all: build vet lint test
 
@@ -19,5 +19,10 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Scale-out comparison: single server vs 4-shard sharded vs 4-shard R=2
+# fleet. Prints the table and writes BENCH_fleet.json.
 bench:
+	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -benchjson BENCH_fleet.json fleet-bench
+
+microbench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -11,6 +11,10 @@
 // (default). Figure 9 always covers both clusters. The "chaos" target
 // runs the packaged crash-restart scenario; -faults replaces its
 // schedule with a chaos script (see docs/ROBUSTNESS.md for the format).
+// "fleet-bench" compares single vs sharded vs replicated-fleet
+// deployments (-benchjson also writes the result as JSON) and
+// "fleet-chaos" runs the fleet through a shard crash; see
+// docs/SCALEOUT.md.
 //
 // -metrics dumps the cluster-wide metric registry (per-verb posted and
 // completion counters, PCIe transaction counts, NIC cache hit rates,
@@ -45,6 +49,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write request-lifecycle spans as Chrome trace_event JSON to this file")
 	perQP := flag.Bool("perqp", false, "with -metrics: also keep per-queue-pair posted counters")
 	faultsFile := flag.String("faults", "", "chaos script for the chaos target (overrides the packaged scenario)")
+	benchJSON := flag.String("benchjson", "", "with the fleet-bench target: also write the comparison as JSON to this file")
 	flag.Parse()
 
 	experiments.Warmup = sim.Time(*warmupUS) * sim.Microsecond
@@ -100,6 +105,17 @@ func main() {
 		"symmetric":         func() *experiments.Table { return experiments.SymmetricStudy(spec) },
 		"classical":         func() *experiments.Table { return experiments.Classical(spec) },
 
+		// Fleet scale-out: single vs sharded vs replicated fleet, and
+		// the fleet under a crash-restart schedule (docs/SCALEOUT.md).
+		"fleet-bench": func() *experiments.Table {
+			tbl, res := experiments.FleetBench(spec)
+			if *benchJSON != "" {
+				writeFile(*benchJSON, res.WriteJSON)
+			}
+			return tbl
+		},
+		"fleet-chaos": func() *experiments.Table { return experiments.FleetChaosScenario(spec) },
+
 		// Robustness: HERD under a scripted fault schedule.
 		"chaos": func() *experiments.Table {
 			if *faultsFile == "" {
@@ -124,6 +140,7 @@ func main() {
 		"ablation-arch", "ablation-inline", "ablation-window", "ablation-prefetch",
 		"ablation-doorbell",
 		"anatomy", "cpuuse", "symmetric", "classical", "chaos",
+		"fleet-bench", "fleet-chaos",
 	}
 
 	if *list {

@@ -3,6 +3,9 @@
 // round trips per GET) and FaRM-em (one big hopscotch-neighborhood READ)
 // — on the same read-intensive workload, printing per-system throughput
 // and latency from the same simulated cluster.
+//
+// All three systems are driven through the shared herdkv.KV client
+// interface: the measurement loop below contains no per-system code.
 package main
 
 import (
@@ -36,13 +39,10 @@ func main() {
 	fmt.Println("beat Pilaf-em's multi-READ cuckoo walk, as in the paper's Figure 11.")
 }
 
-func run(system string) (mops, meanUS, hitPct float64) {
-	cl := herdkv.NewCluster(herdkv.Apt(), 1+nClients, 11)
-	gen := herdkv.NewWorkload(herdkv.ReadIntensive(keys, valueSize, 5))
-
-	// do() issues one op on client i and reports completion.
-	var do func(i int, op herdkv.Op, done func(ok bool, lat herdkv.Time))
-
+// build constructs the named system and returns one KV client per
+// client machine. This is the only per-system code in the example.
+func build(cl *herdkv.Cluster, system string) []herdkv.KV {
+	clients := make([]herdkv.KV, nClients)
 	switch system {
 	case "HERD":
 		cfg := herdkv.DefaultConfig()
@@ -52,20 +52,13 @@ func run(system string) (mops, meanUS, hitPct float64) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		clients := make([]*herdkv.Client, nClients)
+		preload(srv.Preload)
 		for i := range clients {
-			if clients[i], err = srv.ConnectClient(cl.Machine(1 + i)); err != nil {
+			c, err := srv.ConnectClient(cl.Machine(1 + i))
+			if err != nil {
 				log.Fatal(err)
 			}
-		}
-		preload(srv.Preload)
-		do = func(i int, op herdkv.Op, done func(bool, herdkv.Time)) {
-			if op.IsGet {
-				clients[i].Get(op.Key, func(r herdkv.Result) { done(r.OK, r.Latency) })
-			} else {
-				clients[i].Put(op.Key, herdkv.ExpectedValue(op.Key, valueSize),
-					func(r herdkv.Result) { done(r.OK, r.Latency) })
-			}
+			clients[i] = c
 		}
 
 	case "Pilaf-em-OPT":
@@ -75,20 +68,13 @@ func run(system string) (mops, meanUS, hitPct float64) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		clients := make([]*herdkv.PilafClient, nClients)
+		preload(srv.Insert)
 		for i := range clients {
-			if clients[i], err = srv.ConnectClient(cl.Machine(1 + i)); err != nil {
+			c, err := srv.ConnectClient(cl.Machine(1 + i))
+			if err != nil {
 				log.Fatal(err)
 			}
-		}
-		preload(srv.Insert)
-		do = func(i int, op herdkv.Op, done func(bool, herdkv.Time)) {
-			if op.IsGet {
-				clients[i].Get(op.Key, func(r herdkv.PilafResult) { done(r.OK, r.Latency) })
-			} else {
-				clients[i].Put(op.Key, herdkv.ExpectedValue(op.Key, valueSize),
-					func(r herdkv.PilafResult) { done(r.OK, r.Latency) })
-			}
+			clients[i] = c
 		}
 
 	case "FaRM-em":
@@ -99,22 +85,22 @@ func run(system string) (mops, meanUS, hitPct float64) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		clients := make([]*herdkv.FarmClient, nClients)
+		preload(srv.Insert)
 		for i := range clients {
-			if clients[i], err = srv.ConnectClient(cl.Machine(1 + i)); err != nil {
+			c, err := srv.ConnectClient(cl.Machine(1 + i))
+			if err != nil {
 				log.Fatal(err)
 			}
-		}
-		preload(srv.Insert)
-		do = func(i int, op herdkv.Op, done func(bool, herdkv.Time)) {
-			if op.IsGet {
-				clients[i].Get(op.Key, func(r herdkv.FarmResult) { done(r.OK, r.Latency) })
-			} else {
-				clients[i].Put(op.Key, herdkv.ExpectedValue(op.Key, valueSize),
-					func(r herdkv.FarmResult) { done(r.OK, r.Latency) })
-			}
+			clients[i] = c
 		}
 	}
+	return clients
+}
+
+func run(system string) (mops, meanUS, hitPct float64) {
+	cl := herdkv.NewCluster(herdkv.Apt(), 1+nClients, 11)
+	gen := herdkv.NewWorkload(herdkv.ReadIntensive(keys, valueSize, 5))
+	clients := build(cl, system)
 
 	var s stats
 	var drive func(i, n int)
@@ -123,14 +109,23 @@ func run(system string) (mops, meanUS, hitPct float64) {
 			return
 		}
 		op := gen.Next()
-		do(i, op, func(ok bool, lat herdkv.Time) {
+		done := func(r herdkv.Result) {
 			s.ops++
-			s.lat += lat
-			if ok {
+			s.lat += r.Latency
+			if r.Status == herdkv.StatusHit {
 				s.hits++
 			}
 			drive(i, n+1)
-		})
+		}
+		var err error
+		if op.IsGet {
+			err = clients[i].Get(op.Key, done)
+		} else {
+			err = clients[i].Put(op.Key, herdkv.ExpectedValue(op.Key, valueSize), done)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	startT := cl.Eng.Now()
 	for i := 0; i < nClients; i++ {

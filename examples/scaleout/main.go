@@ -1,8 +1,15 @@
-// Scaleout: when one HERD server's ~26 Mops is not enough, shard keys
-// across a fleet of servers, memcached-style. This example runs the
-// same closed-loop workload against 1, 2 and 4 HERD shards and prints
-// the aggregate throughput, demonstrating near-linear scale-out on top
-// of the paper's single-server design.
+// Scaleout: when one HERD server's ~26 Mops is not enough, spread keys
+// across a fleet of servers. This example compares the two scale-out
+// shapes herdkv provides on the same closed-loop workload:
+//
+//   - ShardedDeployment: static modulo sharding, no replication — the
+//     classic memcached fleet.
+//   - FleetDeployment: a consistent-hash ring with R=2 replication.
+//     The demo crashes one shard mid-run (reads fail over to replicas
+//     with zero failed operations) and then grows the fleet by one
+//     shard with live background key migration.
+//
+// Both are driven through the same herdkv.KV client interface.
 package main
 
 import (
@@ -20,76 +27,168 @@ const (
 )
 
 func main() {
-	fmt.Printf("%-8s %12s %14s\n", "shards", "Mops", "Mops/shard")
-	base := 0.0
+	fmt.Printf("%-10s %-8s %12s %14s\n", "mode", "shards", "Mops", "Mops/shard")
 	for _, shards := range []int{1, 2, 4} {
-		mops := run(shards)
-		if shards == 1 {
-			base = mops
-		}
-		fmt.Printf("%-8d %12.1f %14.1f\n", shards, mops, mops/float64(shards))
-		_ = base
+		mops := runSharded(shards)
+		fmt.Printf("%-10s %-8d %12.1f %14.1f\n", "sharded", shards, mops, mops/float64(shards))
 	}
-	fmt.Println("\nEach shard is an independent HERD server; clients route by keyhash.")
+	for _, shards := range []int{2, 4} {
+		mops := runFleet(shards)
+		fmt.Printf("%-10s %-8d %12.1f %14.1f\n", "fleet R=2", shards, mops, mops/float64(shards))
+	}
+	fmt.Println("\nFleet replication costs write fan-out but keeps every key readable")
+	fmt.Println("through a shard crash. Failover and migration in action:")
+	failoverDemo()
 }
 
-func run(shards int) float64 {
-	nClients := shards * clientsPerShard
-	cl := herdkv.NewCluster(herdkv.Apt(), shards+nClients, 1)
-
-	cfg := herdkv.DefaultConfig()
-	cfg.MaxClients = nClients
-	cfg.Mica = herdkv.MicaConfig{IndexBuckets: keys / 2, BucketSlots: 8, LogBytes: keys * 64}
-	servers := make([]*herdkv.Machine, shards)
-	for i := range servers {
-		servers[i] = cl.Machine(i)
-	}
-	d, err := herdkv.NewShardedDeployment(servers, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for k := uint64(0); k < keys; k++ {
-		key := herdkv.KeyFromUint64(k)
-		if err := d.Preload(key, herdkv.ExpectedValue(key, valueSize)); err != nil {
-			log.Fatal(err)
-		}
-	}
-
+// drive runs a closed-loop read-intensive workload over clients and
+// returns steady-state Mops. It only sees the KV interface.
+func drive(cl *herdkv.Cluster, clients []herdkv.KV, window int) float64 {
 	var completed uint64
 	stop := false
-	for i := 0; i < nClients; i++ {
-		sc, err := d.ConnectClient(cl.Machine(shards + i))
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, c := range clients {
+		c := c
 		gen := herdkv.NewWorkload(herdkv.ReadIntensive(keys, valueSize, int64(i+1)))
 		var loop func()
 		loop = func() {
 			op := gen.Next()
+			done := func(herdkv.Result) {
+				completed++
+				if !stop {
+					loop()
+				}
+			}
 			if op.IsGet {
-				sc.Get(op.Key, func(herdkv.Result) {
-					completed++
-					if !stop {
-						loop()
-					}
-				})
+				c.Get(op.Key, done)
 			} else {
-				sc.Put(op.Key, herdkv.ExpectedValue(op.Key, valueSize), func(herdkv.Result) {
-					completed++
-					if !stop {
-						loop()
-					}
-				})
+				c.Put(op.Key, herdkv.ExpectedValue(op.Key, valueSize), done)
 			}
 		}
-		for w := 0; w < cfg.Window; w++ {
+		for w := 0; w < window; w++ {
 			loop()
 		}
 	}
-
 	cl.Eng.RunFor(100 * herdkv.Microsecond) // warm up
 	start := completed
 	cl.Eng.RunFor(measure)
 	stop = true
 	return float64(completed-start) / measure.Seconds() / 1e6
+}
+
+func herdConfig(nClients int) herdkv.Config {
+	cfg := herdkv.DefaultConfig()
+	cfg.MaxClients = nClients
+	cfg.Mica = herdkv.MicaConfig{IndexBuckets: keys / 2, BucketSlots: 8, LogBytes: keys * 64}
+	return cfg
+}
+
+func runSharded(shards int) float64 {
+	nClients := shards * clientsPerShard
+	cl := herdkv.NewCluster(herdkv.Apt(), shards+nClients, 1)
+	servers := make([]*herdkv.Machine, shards)
+	for i := range servers {
+		servers[i] = cl.Machine(i)
+	}
+	d, err := herdkv.NewShardedDeployment(servers, herdConfig(nClients))
+	if err != nil {
+		log.Fatal(err)
+	}
+	preload(d.Preload)
+	clients := make([]herdkv.KV, nClients)
+	for i := range clients {
+		if clients[i], err = d.ConnectClient(cl.Machine(shards + i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return drive(cl, clients, 4)
+}
+
+func runFleet(shards int) float64 {
+	nClients := shards * clientsPerShard
+	cl := herdkv.NewCluster(herdkv.Apt(), shards+nClients, 1)
+	servers := make([]*herdkv.Machine, shards)
+	for i := range servers {
+		servers[i] = cl.Machine(i)
+	}
+	fcfg := herdkv.DefaultFleetConfig()
+	fcfg.Herd = herdConfig(nClients)
+	d, err := herdkv.NewFleet(servers, fcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preload(d.Preload)
+	clients := make([]herdkv.KV, nClients)
+	for i := range clients {
+		if clients[i], err = d.ConnectClient(cl.Machine(shards + i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return drive(cl, clients, 4)
+}
+
+// failoverDemo crashes one shard of a 4-shard R=2 fleet under load,
+// shows reads surviving via replica failover, then restarts it and
+// grows the fleet by a fifth shard with background migration.
+func failoverDemo() {
+	const shards = 4
+	cl := herdkv.NewCluster(herdkv.Apt(), shards+2, 1)
+	servers := make([]*herdkv.Machine, shards)
+	for i := range servers {
+		servers[i] = cl.Machine(i)
+	}
+	fcfg := herdkv.DefaultFleetConfig()
+	fcfg.Herd = herdConfig(1)
+	d, err := herdkv.NewFleet(servers, fcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preload(d.Preload)
+	c, err := d.ConnectClient(cl.Machine(shards))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Read every key while shard 0 is down: replicas serve its share.
+	d.Server(0).Crash()
+	hits := 0
+	for k := uint64(0); k < 2048; k++ {
+		c.Get(herdkv.KeyFromUint64(k), func(r herdkv.Result) {
+			if r.Status == herdkv.StatusHit {
+				hits++
+			}
+		})
+	}
+	cl.Eng.Run()
+	fmt.Printf("  shard 0 down: %d/2048 reads served (reroutes=%d, replica reads=%d, failed=%d)\n",
+		hits, c.Reroutes(), c.ReplicaReads(), c.Failed())
+	d.Server(0).Restart()
+
+	// Grow the fleet: add a fifth shard and wait out the migration.
+	migrated := false
+	id, err := d.AddShard(cl.Machine(shards+1), func() { migrated = true })
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl.Eng.Run()
+	fmt.Printf("  added shard %d: migration complete=%v, ring=%v\n", id, migrated, d.Ring().Shards())
+	hits = 0
+	for k := uint64(0); k < 2048; k++ {
+		c.Get(herdkv.KeyFromUint64(k), func(r herdkv.Result) {
+			if r.Status == herdkv.StatusHit {
+				hits++
+			}
+		})
+	}
+	cl.Eng.Run()
+	fmt.Printf("  post-migration: %d/2048 reads served, failed=%d\n", hits, c.Failed())
+}
+
+// preload inserts every key via the provided deployment preload.
+func preload(insert func(herdkv.Key, []byte) error) {
+	for k := uint64(0); k < keys; k++ {
+		key := herdkv.KeyFromUint64(k)
+		if err := insert(key, herdkv.ExpectedValue(key, valueSize)); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

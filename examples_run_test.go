@@ -21,7 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		{"webcache", "cache hit rate"},
 		{"baselines", "HERD's single round trip wins"},
 		{"skewstudy", "core max/min ratio"},
-		{"scaleout", "clients route by keyhash"},
+		{"scaleout", "post-migration: 2048/2048 reads served, failed=0"},
 		{"sequencer", "duplicates: 0"},
 	}
 	for _, c := range cases {

@@ -29,6 +29,7 @@ import (
 	"herdkv/internal/core"
 	"herdkv/internal/farm"
 	"herdkv/internal/fault"
+	"herdkv/internal/fleet"
 	"herdkv/internal/kv"
 	"herdkv/internal/mica"
 	"herdkv/internal/pilaf"
@@ -39,6 +40,25 @@ import (
 
 // Key is a 16-byte keyhash, the item identifier across all systems.
 type Key = kv.Key
+
+// KV is the client interface every system implements — HERD
+// (Client, ShardedClient, FleetClient), Pilaf (PilafClient) and FaRM
+// (FarmClient). Drivers written against KV run unchanged on any of
+// them.
+type KV = kv.KV
+
+// Status classifies an operation outcome with a vocabulary shared by
+// all systems: hit, miss, timeout, flushed.
+type Status = kv.Status
+
+// Operation outcomes.
+const (
+	StatusUnknown = kv.StatusUnknown
+	StatusHit     = kv.StatusHit
+	StatusMiss    = kv.StatusMiss
+	StatusTimeout = kv.StatusTimeout
+	StatusFlushed = kv.StatusFlushed
+)
 
 // KeyFromUint64 derives a well-mixed, non-zero keyhash from n.
 func KeyFromUint64(n uint64) Key { return kv.FromUint64(n) }
@@ -88,7 +108,8 @@ type Client = core.Client
 // Config parameterizes a HERD deployment.
 type Config = core.Config
 
-// Result is the outcome of a HERD operation.
+// Result is the outcome of an operation, shared by every system
+// (PilafResult and FarmResult are aliases of the same type).
 type Result = core.Result
 
 // DefaultConfig mirrors the paper's evaluation setup (6 server
@@ -122,6 +143,35 @@ type ShardedClient = core.ShardedClient
 // NewShardedDeployment initializes one HERD server per machine.
 func NewShardedDeployment(machines []*Machine, cfg Config) (*ShardedDeployment, error) {
 	return core.NewShardedDeployment(machines, cfg)
+}
+
+// Fleet — consistent-hash scale-out with replication and failover
+// (docs/SCALEOUT.md).
+
+// FleetDeployment is a consistent-hash fleet of HERD servers with
+// per-key replication, shard add/remove with background migration, and
+// crash failover.
+type FleetDeployment = fleet.Deployment
+
+// FleetClient is one application host's replicated, failover-capable
+// view of the fleet.
+type FleetClient = fleet.Client
+
+// FleetConfig parameterizes a fleet (replication factor, virtual
+// nodes, migration pacing, read probation).
+type FleetConfig = fleet.Config
+
+// FleetRing is the fleet's consistent-hash ring (virtual nodes, seeded
+// from the cluster seed).
+type FleetRing = fleet.Ring
+
+// DefaultFleetConfig returns the fleet defaults (R=2, 64 virtual
+// nodes) over core's HERD defaults with retries enabled.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// NewFleet builds a fleet with one HERD server per machine.
+func NewFleet(machines []*Machine, cfg FleetConfig) (*FleetDeployment, error) {
+	return fleet.NewDeployment(machines, cfg)
 }
 
 // FarmSymmetric is the symmetric FaRM deployment of Section 2.3: every

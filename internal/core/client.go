@@ -24,15 +24,14 @@ var ErrTimedOut = errors.New("herd: operation timed out after retry budget")
 
 // Result is the outcome of one HERD operation, delivered to the caller's
 // callback when the response SEND arrives — or when the op fails
-// terminally, in which case Err is non-nil and OK is false.
-type Result struct {
-	Key     kv.Key
-	IsGet   bool
-	OK      bool
-	Value   []byte // GET hit: the value (copied)
-	Latency sim.Time
-	Err     error // terminal failure (ErrTimedOut); nil on a served response
-}
+// terminally, in which case Err is non-nil and Status is
+// kv.StatusTimeout. It is an alias of the unified kv.Result, so HERD
+// callbacks interoperate with everything written against the kv.KV
+// client interface.
+type Result = kv.Result
+
+// Client implements the shared client interface.
+var _ kv.KV = (*Client)(nil)
 
 type opKind int
 
@@ -514,6 +513,7 @@ func (c *Client) failOp(op *pendingOp) {
 		op.cb(Result{
 			Key:     op.key,
 			IsGet:   op.kind == opGet,
+			Status:  kv.StatusTimeout,
 			Latency: now - op.issuedAt,
 			Err:     ErrTimedOut,
 		})
@@ -659,6 +659,10 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	}
 	status := comp.Data[0]
 	res.OK = status == statusOK
+	res.Status = kv.StatusMiss
+	if res.OK {
+		res.Status = kv.StatusHit
+	}
 	if op.kind == opGet && res.OK {
 		vlen := int(binary.LittleEndian.Uint16(comp.Data[1:3]))
 		if respHdr+vlen <= len(comp.Data) {

@@ -18,13 +18,26 @@ type ShardedDeployment struct {
 	seed    uint64
 }
 
+// PlacementSeed derives the key-placement hash seed for a deployment
+// whose first server runs on m. It folds the machine's deterministic
+// seed (itself derived from the cluster seed) through a mixer, so two
+// clusters built with different seeds place keys differently while any
+// one cluster's placement replays exactly. The fleet ring uses the
+// same derivation.
+func PlacementSeed(m *cluster.Machine) uint64 {
+	var k kv.Key
+	return k.Hash64(uint64(m.Seed) ^ 0x54a6d)
+}
+
 // NewShardedDeployment initializes one HERD server on each of the given
-// machines.
+// machines. Key placement is seeded from the first machine's
+// deterministic cluster-derived seed: different cluster seeds give
+// different placements.
 func NewShardedDeployment(machines []*cluster.Machine, cfg Config) (*ShardedDeployment, error) {
 	if len(machines) < 1 {
 		return nil, fmt.Errorf("core: sharded deployment needs at least one server")
 	}
-	d := &ShardedDeployment{seed: 0x54a6d}
+	d := &ShardedDeployment{seed: PlacementSeed(machines[0])}
 	for _, m := range machines {
 		srv, err := NewServer(m, cfg)
 		if err != nil {
@@ -52,11 +65,14 @@ func (d *ShardedDeployment) Preload(key kv.Key, value []byte) error {
 }
 
 // ShardedClient is one application host's view of the fleet: a HERD
-// client per shard, routed by keyhash.
+// client per shard, routed by keyhash. It implements the kv.KV client
+// interface.
 type ShardedClient struct {
 	d       *ShardedDeployment
 	clients []*Client
 }
+
+var _ kv.KV = (*ShardedClient)(nil)
 
 // ConnectClient attaches machine m to every shard.
 func (d *ShardedDeployment) ConnectClient(m *cluster.Machine) (*ShardedClient, error) {
@@ -95,6 +111,34 @@ func (sc *ShardedClient) Completed() uint64 {
 	var total uint64
 	for _, c := range sc.clients {
 		total += c.Completed()
+	}
+	return total
+}
+
+// Issued sums issued operations across the per-shard clients.
+func (sc *ShardedClient) Issued() uint64 {
+	var total uint64
+	for _, c := range sc.clients {
+		total += c.Issued()
+	}
+	return total
+}
+
+// Failed sums terminal retry-budget failures across the per-shard
+// clients.
+func (sc *ShardedClient) Failed() uint64 {
+	var total uint64
+	for _, c := range sc.clients {
+		total += c.Failed()
+	}
+	return total
+}
+
+// Inflight sums outstanding operations across the per-shard clients.
+func (sc *ShardedClient) Inflight() int {
+	total := 0
+	for _, c := range sc.clients {
+		total += c.Inflight()
 	}
 	return total
 }

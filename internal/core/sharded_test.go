@@ -147,6 +147,38 @@ func TestShardedAggregateThroughputScales(t *testing.T) {
 	}
 }
 
+func TestShardedPlacementFollowsClusterSeed(t *testing.T) {
+	// Regression: placement used to come from a hardcoded seed, so two
+	// clusters built with different seeds got identical key placement.
+	shardsOf := func(seed int64) []int {
+		cl := cluster.New(cluster.Apt(), 4, seed)
+		cfg := smallConfig()
+		machines := []*cluster.Machine{cl.Machine(0), cl.Machine(1), cl.Machine(2), cl.Machine(3)}
+		d, err := NewShardedDeployment(machines, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, 512)
+		for i := range out {
+			out[i] = d.ShardOf(kv.FromUint64(uint64(i + 1)))
+		}
+		return out
+	}
+	a, again, b := shardsOf(1), shardsOf(1), shardsOf(2)
+	differs := false
+	for i := range a {
+		if a[i] != again[i] {
+			t.Fatalf("same cluster seed, different placement at key %d", i+1)
+		}
+		if a[i] != b[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("clusters with different seeds produced identical placement")
+	}
+}
+
 func TestShardedValidation(t *testing.T) {
 	if _, err := NewShardedDeployment(nil, smallConfig()); err == nil {
 		t.Fatal("empty deployment accepted")

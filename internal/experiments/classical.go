@@ -45,7 +45,7 @@ func idleHERDLatency(spec cluster.Spec) sim.Time {
 	cfg.clients = 1
 	cl, clients, _ := buildSystem(cfg)
 	var lat sim.Time
-	clients[0].doGet(kv.FromUint64(1), func(_ bool, _ []byte, l sim.Time) { lat = l })
+	mustPost(clients[0].Get(kv.FromUint64(1), func(r kv.Result) { lat = r.Latency }))
 	cl.Eng.Run()
 	return lat
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"herdkv/internal/cluster"
+	"herdkv/internal/kv"
 	"herdkv/internal/sim"
 	"herdkv/internal/workload"
 )
@@ -76,17 +77,17 @@ func runCPUUse(cfg e2eConfig) cpuUseResult {
 		issue := func(done func()) {
 			op := gen.Next()
 			if op.IsGet {
-				c.doGet(op.Key, func(bool, []byte, sim.Time) {
+				mustPost(c.Get(op.Key, func(kv.Result) {
 					completed++
 					clientBusy += perOp(true)
 					done()
-				})
+				}))
 			} else {
-				c.doPut(op.Key, valFor(cfg, op), func(bool, sim.Time) {
+				mustPost(c.Put(op.Key, valFor(cfg, op), func(kv.Result) {
 					completed++
 					clientBusy += perOp(false)
 					done()
-				})
+				}))
 			}
 		}
 		cl.Eng.At(sim.Time(i)*stagger, func() { pump(cfg.window, issue) })

@@ -65,47 +65,15 @@ type e2eResult struct {
 	VerifyErr uint64
 }
 
-// e2eClient abstracts the three systems' clients for the shared driver.
-type e2eClient interface {
-	doGet(key kv.Key, done func(ok bool, value []byte, lat sim.Time))
-	doPut(key kv.Key, value []byte, done func(ok bool, lat sim.Time))
-}
-
-type herdClient struct{ c *core.Client }
-
-func (h herdClient) doGet(key kv.Key, done func(bool, []byte, sim.Time)) {
-	h.c.Get(key, func(r core.Result) { done(r.OK, r.Value, r.Latency) })
-}
-func (h herdClient) doPut(key kv.Key, value []byte, done func(bool, sim.Time)) {
-	h.c.Put(key, value, func(r core.Result) { done(r.OK, r.Latency) })
-}
-
-type pilafClient struct{ c *pilaf.Client }
-
-func (p pilafClient) doGet(key kv.Key, done func(bool, []byte, sim.Time)) {
-	p.c.Get(key, func(r pilaf.Result) { done(r.OK, r.Value, r.Latency) })
-}
-func (p pilafClient) doPut(key kv.Key, value []byte, done func(bool, sim.Time)) {
-	p.c.Put(key, value, func(r pilaf.Result) { done(r.OK, r.Latency) })
-}
-
-type farmClient struct{ c *farm.Client }
-
-func (f farmClient) doGet(key kv.Key, done func(bool, []byte, sim.Time)) {
-	f.c.Get(key, func(r farm.Result) { done(r.OK, r.Value, r.Latency) })
-}
-func (f farmClient) doPut(key kv.Key, value []byte, done func(bool, sim.Time)) {
-	f.c.Put(key, value, func(r farm.Result) { done(r.OK, r.Latency) })
-}
-
 // buildSystem constructs the server and clients for cfg on a fresh
 // cluster, preloading the whole keyspace, and returns a per-partition
-// served-count probe (HERD only).
-func buildSystem(cfg e2eConfig) (*cluster.Cluster, []e2eClient, func() []uint64) {
+// served-count probe (HERD only). Every system's client is driven
+// through the shared kv.KV interface; no per-system glue is needed.
+func buildSystem(cfg e2eConfig) (*cluster.Cluster, []kv.KV, func() []uint64) {
 	machines := 1 + (cfg.clients+cfg.perMachine-1)/cfg.perMachine
 	cl := cluster.New(cfg.spec, machines, cfg.seed)
 	clientMachine := func(i int) *cluster.Machine { return cl.Machine(1 + i/cfg.perMachine) }
-	clients := make([]e2eClient, cfg.clients)
+	clients := make([]kv.KV, cfg.clients)
 	var perCore func() []uint64
 
 	switch cfg.system {
@@ -140,7 +108,7 @@ func buildSystem(cfg e2eConfig) (*cluster.Cluster, []e2eClient, func() []uint64)
 			if err != nil {
 				panic(err)
 			}
-			clients[i] = herdClient{c}
+			clients[i] = c
 		}
 		perCore = func() []uint64 {
 			out := make([]uint64, cfg.cores)
@@ -173,7 +141,7 @@ func buildSystem(cfg e2eConfig) (*cluster.Cluster, []e2eClient, func() []uint64)
 			if err != nil {
 				panic(err)
 			}
-			clients[i] = pilafClient{c}
+			clients[i] = c
 		}
 
 	case SysFaRM, SysFaRMVar:
@@ -203,7 +171,7 @@ func buildSystem(cfg e2eConfig) (*cluster.Cluster, []e2eClient, func() []uint64)
 			if err != nil {
 				panic(err)
 			}
-			clients[i] = farmClient{c}
+			clients[i] = c
 		}
 
 	default:
@@ -240,32 +208,32 @@ func runE2E(cfg e2eConfig) e2eResult {
 			nop++
 			verify := nop%64 == 0
 			if op.IsGet {
-				c.doGet(op.Key, func(ok bool, value []byte, lat sim.Time) {
+				mustPost(c.Get(op.Key, func(r kv.Result) {
 					completed++
 					if measuring {
-						rec.Record(lat)
+						rec.Record(r.Latency)
 						gets++
-						if ok {
+						if r.Status == kv.StatusHit {
 							hits++
 						}
 					}
-					if verify && ok {
+					if verify && r.Status == kv.StatusHit {
 						want := workload.ExpectedValue(op.Key, cfg.valueSize)
-						if string(value) != string(want) {
+						if string(r.Value) != string(want) {
 							verifyErr++
 						}
 					}
 					done()
-				})
+				}))
 			} else {
 				val := workload.ExpectedValue(op.Key, cfg.valueSize)
-				c.doPut(op.Key, val, func(ok bool, lat sim.Time) {
+				mustPost(c.Put(op.Key, val, func(r kv.Result) {
 					completed++
 					if measuring {
-						rec.Record(lat)
+						rec.Record(r.Latency)
 					}
 					done()
-				})
+				}))
 			}
 		}
 		cl.Eng.At(sim.Time(i)*stagger, func() { pump(cfg.window, issue) })

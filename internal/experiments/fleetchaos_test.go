@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"herdkv/internal/cluster"
+)
+
+func TestFleetChaosZeroFailuresAndDrains(t *testing.T) {
+	out := FleetChaos(cluster.Apt(), fleetChaosSchedule(), 3).String()
+	if !strings.Contains(out, "0 fleet-level failures (must be 0)") {
+		t.Fatalf("fleet chaos run had fleet-level failures:\n%s", out)
+	}
+	if !strings.Contains(out, "0 hung (must be 0)") {
+		t.Fatalf("fleet chaos run left hung ops:\n%s", out)
+	}
+	if !strings.Contains(out, "1 crashes, 1 restarts") {
+		t.Fatalf("crash/restart not injected:\n%s", out)
+	}
+	if strings.Contains(out, "failover: 0 reroutes") {
+		t.Fatalf("no failover happened during the outage:\n%s", out)
+	}
+}
+
+// fleetChaosReplay keeps the first TestChaosReplayStableFleet output for
+// the lifetime of the test process; `go test -count=2` re-enters in the
+// same process and compares a complete fresh execution byte-for-byte
+// (same mechanism as TestChaosReplayStable — CI's -run regex matches
+// both).
+var fleetChaosReplay struct {
+	sync.Mutex
+	first string
+}
+
+func TestChaosReplayStableFleet(t *testing.T) {
+	out := FleetChaos(cluster.Apt(), fleetChaosSchedule(), 7).String()
+	fleetChaosReplay.Lock()
+	defer fleetChaosReplay.Unlock()
+	if fleetChaosReplay.first == "" {
+		fleetChaosReplay.first = out
+		return
+	}
+	if out != fleetChaosReplay.first {
+		t.Fatalf("fleet chaos run diverged from the first in-process run (leaked global state?):\n--- first ---\n%s--- this run ---\n%s",
+			fleetChaosReplay.first, out)
+	}
+}
+
+func TestFleetChaosSeedChangesRun(t *testing.T) {
+	a := FleetChaos(cluster.Apt(), fleetChaosSchedule(), 3).String()
+	b := FleetChaos(cluster.Apt(), fleetChaosSchedule(), 4).String()
+	if a == b {
+		t.Fatal("different seeds produced identical fleet chaos tables")
+	}
+}

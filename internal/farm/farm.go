@@ -37,7 +37,19 @@ const SlotSize = 1024
 const (
 	keyTail = kv.KeySize
 	lenTail = keyTail + 2
+
+	// lenDelete in a request slot's LEN field marks a DELETE (values are
+	// bounded well below it).
+	lenDelete = 0xffff
 )
+
+// statusOf maps a served outcome onto the unified vocabulary.
+func statusOf(ok bool) kv.Status {
+	if ok {
+		return kv.StatusHit
+	}
+	return kv.StatusMiss
+}
 
 // Config parameterizes a FaRM-KV deployment.
 type Config struct {
@@ -74,6 +86,7 @@ type Server struct {
 
 	clients []*Client
 	puts    uint64
+	deletes uint64
 }
 
 // NewServer initializes FaRM-KV on machine m.
@@ -111,18 +124,14 @@ func (s *Server) Insert(key kv.Key, value []byte) error {
 // Puts reports served PUTs.
 func (s *Server) Puts() uint64 { return s.puts }
 
-// Result is the outcome of one client operation.
-type Result struct {
-	Key     kv.Key
-	IsGet   bool
-	OK      bool
-	Value   []byte
-	Latency sim.Time
-	Reads   int // READ verbs issued (GETs): 1 inline, 2 out-of-table
-}
+// Result is the outcome of one client operation — an alias of the
+// unified kv.Result. Result.Reads counts READ verbs issued for a GET:
+// 1 inline, 2 out-of-table.
+type Result = kv.Result
 
 type pendingPut struct {
 	key      kv.Key
+	isDelete bool
 	issuedAt sim.Time
 	cb       func(Result)
 }
@@ -149,7 +158,24 @@ type Client struct {
 
 	inflight int
 	waiting  []func()
+
+	issued, completed uint64
 }
+
+// Client implements the shared client interface.
+var _ kv.KV = (*Client)(nil)
+
+// Inflight returns the number of outstanding operations.
+func (c *Client) Inflight() int { return c.inflight }
+
+// Issued and Completed report operation counts.
+func (c *Client) Issued() uint64    { return c.issued }
+func (c *Client) Completed() uint64 { return c.completed }
+
+// Failed is always zero: FaRM-em has no retry machinery, so no
+// operation resolves terminally unserved (errored queue pairs panic
+// instead — crash recovery is unsupported territory here).
+func (c *Client) Failed() uint64 { return 0 }
 
 // ConnectClient attaches a client on machine m.
 func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
@@ -180,7 +206,7 @@ func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
 	c.scratch = m.Verbs.RegisterMR((s.cfg.Window + 1) * scratchSlot)
 
 	c.reqMR.Watch(0, s.cfg.Window*SlotSize, func(off, n int) { s.onPutLanded(c, off, n) })
-	c.respMR.Watch(0, s.cfg.Window, func(off, n int) { c.onNotify() })
+	c.respMR.Watch(0, s.cfg.Window, func(off, n int) { c.onNotify(off) })
 	return c, nil
 }
 
@@ -205,7 +231,11 @@ func (s *Server) onPutLanded(c *Client, off, n int) {
 		return
 	}
 	vlen := int(binary.LittleEndian.Uint16(raw[SlotSize-lenTail : SlotSize-keyTail]))
-	value := append([]byte(nil), raw[SlotSize-lenTail-vlen:SlotSize-lenTail]...)
+	isDelete := vlen == lenDelete
+	var value []byte
+	if !isDelete {
+		value = append([]byte(nil), raw[SlotSize-lenTail-vlen:SlotSize-lenTail]...)
+	}
 
 	// Per-client core affinity keeps each client's PUTs ordered.
 	core := c.id % s.cfg.Cores
@@ -217,7 +247,12 @@ func (s *Server) onPutLanded(c *Client, off, n int) {
 
 	s.machine.CPU.Core(core).Submit(service, func(sim.Time) {
 		status := byte(1)
-		if err := s.table.Insert(key, value); err != nil {
+		if isDelete {
+			if !s.table.Delete(key) {
+				status = 2
+			}
+			s.deletes++
+		} else if err := s.table.Insert(key, value); err != nil {
 			status = 2
 		}
 		s.puts++
@@ -236,17 +271,21 @@ func (s *Server) onPutLanded(c *Client, off, n int) {
 	})
 }
 
-// onNotify completes the oldest outstanding PUT (per-client order is
-// preserved end to end: one UC QP, one core, one notification QP).
-func (c *Client) onNotify() {
+// onNotify completes the oldest outstanding PUT or DELETE (per-client
+// order is preserved end to end: one UC QP, one core, one notification
+// QP). The notification byte carries the outcome: 1 applied, 2 not
+// (store rejection, or DELETE of an absent key).
+func (c *Client) onNotify(off int) {
 	if len(c.pendingPuts) == 0 {
 		return
 	}
 	op := c.pendingPuts[0]
 	c.pendingPuts = c.pendingPuts[1:]
+	ok := c.respMR.Bytes()[off] == 1
+	c.completed++
 	c.finishOp()
 	if op.cb != nil {
-		op.cb(Result{Key: op.key, OK: true, Latency: c.now() - op.issuedAt})
+		op.cb(Result{Key: op.key, OK: ok, Status: statusOf(ok), Latency: c.now() - op.issuedAt})
 	}
 }
 
@@ -280,16 +319,31 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 	if len(value) == 0 || len(value) > SlotSize-int(lenTail) {
 		return hopscotch.ErrValueSize
 	}
-	val := append([]byte(nil), value...)
+	c.writeReq(key, append([]byte(nil), value...), uint16(len(value)), false, cb)
+	return nil
+}
+
+// Delete removes key via the circular-buffer request path (a
+// length-sentinel request the server CPU applies to the hopscotch
+// table). Result.Status reports hit (removed) or miss (absent).
+func (c *Client) Delete(key kv.Key, cb func(Result)) error {
+	c.writeReq(key, nil, lenDelete, true, cb)
+	return nil
+}
+
+// writeReq WRITEs one request — a PUT body or the DELETE sentinel —
+// into the server's circular buffer.
+func (c *Client) writeReq(key kv.Key, val []byte, vlen uint16, isDelete bool, cb func(Result)) {
 	c.startOp(func() {
+		c.issued++
 		slot := c.seq % c.srv.cfg.Window
 		c.seq++
 		payload := make([]byte, len(val)+2+kv.KeySize)
 		copy(payload, val)
-		binary.LittleEndian.PutUint16(payload[len(val):], uint16(len(val)))
+		binary.LittleEndian.PutUint16(payload[len(val):], vlen)
 		copy(payload[len(val)+2:], key[:])
 
-		c.pendingPuts = append(c.pendingPuts, &pendingPut{key: key, issuedAt: c.now(), cb: cb})
+		c.pendingPuts = append(c.pendingPuts, &pendingPut{key: key, isDelete: isDelete, issuedAt: c.now(), cb: cb})
 		mustPost(c.ucQP.PostSend(verbs.SendWR{
 			Verb:      verbs.WRITE,
 			Data:      payload,
@@ -298,7 +352,6 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 			Inline:    len(payload) <= c.machine.Verbs.NIC().Params().InlineMax,
 		}))
 	})
-	return nil
 }
 
 // Get READs the key's neighborhood (and, out-of-table, the value). The
@@ -310,6 +363,7 @@ func (c *Client) Get(key kv.Key, cb func(Result)) error {
 
 func (c *Client) doGet(key kv.Key, cb func(Result)) {
 	start := c.now()
+	c.issued++
 	res := Result{Key: key, IsGet: true}
 	scratchSlot := c.srv.neighborhoodBytes() + 1024
 	lo := (int(c.readSeq) % (c.srv.cfg.Window + 1)) * scratchSlot
@@ -317,6 +371,8 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 
 	finish := func() {
 		res.Latency = c.now() - start
+		res.Status = statusOf(res.OK)
+		c.completed++
 		c.finishOp()
 		if cb != nil {
 			cb(res)

@@ -1,0 +1,340 @@
+package fleet
+
+import (
+	"errors"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/core"
+	"herdkv/internal/kv"
+	"herdkv/internal/mica"
+	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
+)
+
+// ErrValueTooLarge mirrors the backing cache's value bound at the fleet
+// client, so a fan-out write is rejected before any replica sees it.
+var ErrValueTooLarge = errors.New("fleet: value exceeds maximum size")
+
+// Client is one application host's handle on the fleet. It implements
+// the kv.KV client interface on top of one HERD sub-client per shard:
+//
+//   - Reads go primary-first and fail over to the remaining replicas
+//     when a sub-operation ends in core.ErrTimedOut, re-arming the full
+//     retry budget against each replica in turn.
+//   - Writes fan out to every replica and succeed when at least one
+//     replica acknowledges.
+//   - A shard whose operation failed terminally is suspected for
+//     Config.Probation of virtual time: reads prefer other replicas
+//     until the probation lapses.
+//
+// Counters: Issued/Completed/Failed are fleet-level — an operation
+// counts as Failed only when every replica in its set failed. Per-shard
+// herd.* metrics keep counting underneath.
+type Client struct {
+	d       *Deployment
+	machine *cluster.Machine
+	subs    []*core.Client // indexed by shard id; grows with AddShard
+	suspect []sim.Time     // per shard id: avoid reads until this time
+
+	issued    uint64
+	completed uint64
+	failed    uint64
+	inflight  int
+
+	reroutes     uint64
+	replicaReads uint64
+	fanoutPuts   uint64
+
+	telIssued    *telemetry.Counter
+	telCompleted *telemetry.Counter
+	telFailed    *telemetry.Counter
+	telReroutes  *telemetry.Counter
+	telReplica   *telemetry.Counter
+	telFanout    *telemetry.Counter
+	telSuspected *telemetry.Counter
+	telMGOps     *telemetry.Counter
+	telMGKeys    *telemetry.Counter
+}
+
+var _ kv.KV = (*Client)(nil)
+
+// ConnectClient attaches machine m to every live shard and returns the
+// fleet client. Clients connected before an AddShard are attached to
+// the new shard automatically.
+func (d *Deployment) ConnectClient(m *cluster.Machine) (*Client, error) {
+	c := &Client{d: d, machine: m, subs: make([]*core.Client, len(d.shards)), suspect: make([]sim.Time, len(d.shards))}
+	tel := m.Verbs.Telemetry()
+	c.telIssued = tel.Counter("fleet.ops.issued")
+	c.telCompleted = tel.Counter("fleet.ops.completed")
+	c.telFailed = tel.Counter("fleet.ops.failed")
+	c.telReroutes = tel.Counter("fleet.reroutes")
+	c.telReplica = tel.Counter("fleet.reads.replica")
+	c.telFanout = tel.Counter("fleet.writes.fanout")
+	c.telSuspected = tel.Counter("fleet.suspected")
+	c.telMGOps = tel.Counter("fleet.multiget.ops")
+	c.telMGKeys = tel.Counter("fleet.multiget.keys")
+	for _, sh := range d.shards {
+		if !sh.live {
+			continue
+		}
+		sub, err := sh.srv.ConnectClient(m)
+		if err != nil {
+			return nil, err
+		}
+		c.subs[sh.id] = sub
+	}
+	d.clients = append(d.clients, c)
+	return c, nil
+}
+
+// attach connects this client to a newly added shard.
+func (c *Client) attach(sh *shard) error {
+	sub, err := sh.srv.ConnectClient(c.machine)
+	if err != nil {
+		return err
+	}
+	for len(c.subs) <= sh.id {
+		c.subs = append(c.subs, nil)
+		c.suspect = append(c.suspect, 0)
+	}
+	c.subs[sh.id] = sub
+	return nil
+}
+
+func (c *Client) now() sim.Time { return c.machine.Verbs.NIC().Engine().Now() }
+
+// Inflight returns the number of fleet-level operations in flight.
+func (c *Client) Inflight() int { return c.inflight }
+
+// Issued returns fleet-level operations submitted.
+func (c *Client) Issued() uint64 { return c.issued }
+
+// Completed returns fleet-level operations that resolved successfully
+// (served by at least one replica).
+func (c *Client) Completed() uint64 { return c.completed }
+
+// Failed returns fleet-level failures: operations for which every
+// replica in the set failed terminally.
+func (c *Client) Failed() uint64 { return c.failed }
+
+// Reroutes counts read failovers: a sub-operation failed terminally and
+// the read was reissued against the next replica.
+func (c *Client) Reroutes() uint64 { return c.reroutes }
+
+// ReplicaReads counts reads served by a non-primary replica.
+func (c *Client) ReplicaReads() uint64 { return c.replicaReads }
+
+// FanoutPuts counts fleet-level write operations (each fans out to R
+// replicas).
+func (c *Client) FanoutPuts() uint64 { return c.fanoutPuts }
+
+// markSuspect starts a read probation for shard id after a terminal
+// failure against it.
+func (c *Client) markSuspect(id int) {
+	c.suspect[id] = c.now() + c.d.cfg.Probation
+	c.telSuspected.Inc()
+}
+
+// readOrder returns key's replica set reordered for a read: replicas
+// not under probation first (ring order preserved within each group),
+// so a recently failed primary is tried last instead of eating a full
+// retry budget per read.
+func (c *Client) readOrder(reps []int) []int {
+	now := c.now()
+	order := make([]int, 0, len(reps))
+	for _, id := range reps {
+		if c.suspect[id] <= now {
+			order = append(order, id)
+		}
+	}
+	for _, id := range reps {
+		if c.suspect[id] > now {
+			order = append(order, id)
+		}
+	}
+	return order
+}
+
+func (c *Client) start() {
+	c.issued++
+	c.inflight++
+	c.telIssued.Inc()
+}
+
+func (c *Client) finish(cb func(kv.Result), res kv.Result, begun sim.Time) {
+	res.Latency = c.now() - begun
+	c.inflight--
+	if res.Err == nil {
+		c.completed++
+		c.telCompleted.Inc()
+	} else {
+		c.failed++
+		c.telFailed.Inc()
+	}
+	if cb != nil {
+		cb(res)
+	}
+}
+
+// Get reads key, primary-first with failover across the replica set.
+func (c *Client) Get(key kv.Key, cb func(kv.Result)) error {
+	if key.IsZero() {
+		return mica.ErrZeroKey
+	}
+	reps := c.d.Replicas(key)
+	if len(reps) == 0 {
+		return ErrNoShards
+	}
+	order := c.readOrder(reps)
+	c.start()
+	begun := c.now()
+	c.tryGet(key, reps[0], order, 0, begun, cb)
+	return nil
+}
+
+// tryGet issues the read against order[i], failing over to order[i+1]
+// on a terminal error. Each attempt is a fresh sub-operation with the
+// full retry budget.
+func (c *Client) tryGet(key kv.Key, primary int, order []int, i int, begun sim.Time, cb func(kv.Result)) {
+	err := c.subs[order[i]].Get(key, func(r kv.Result) {
+		if r.Err == nil {
+			if order[i] != primary {
+				c.replicaReads++
+				c.telReplica.Inc()
+			}
+			c.finish(cb, r, begun)
+			return
+		}
+		c.markSuspect(order[i])
+		if i+1 < len(order) {
+			c.reroutes++
+			c.telReroutes.Inc()
+			c.tryGet(key, primary, order, i+1, begun, cb)
+			return
+		}
+		r.Err = ErrAllReplicasDown
+		c.finish(cb, r, begun)
+	})
+	if err != nil {
+		// Sub-client validation errors surface asynchronously as a
+		// fleet failure so accounting stays balanced.
+		c.finish(cb, kv.Result{Key: key, IsGet: true, Status: kv.StatusTimeout, Err: err}, begun)
+	}
+}
+
+// Put writes key to every replica in its set; the operation succeeds
+// when at least one replica acknowledges. The reported Result is the
+// first successful replica's, with fleet-level latency (time to the
+// last replica's resolution, since that is when the outcome is known).
+func (c *Client) Put(key kv.Key, value []byte, cb func(kv.Result)) error {
+	return c.fanout(key, value, false, cb)
+}
+
+// Delete removes key from every replica in its set.
+func (c *Client) Delete(key kv.Key, cb func(kv.Result)) error {
+	return c.fanout(key, nil, true, cb)
+}
+
+func (c *Client) fanout(key kv.Key, value []byte, isDelete bool, cb func(kv.Result)) error {
+	if key.IsZero() {
+		return mica.ErrZeroKey
+	}
+	if len(value) > mica.MaxValueSize {
+		return ErrValueTooLarge
+	}
+	reps := c.d.Replicas(key)
+	if len(reps) == 0 {
+		return ErrNoShards
+	}
+	c.start()
+	c.fanoutPuts++
+	c.telFanout.Inc()
+	begun := c.now()
+	outstanding := len(reps)
+	var served *kv.Result
+	var lastErr kv.Result
+	resolve := func(id int, r kv.Result) {
+		outstanding--
+		if r.Err == nil {
+			if served == nil {
+				cp := r
+				served = &cp
+			}
+		} else {
+			c.markSuspect(id)
+			lastErr = r
+		}
+		if outstanding == 0 {
+			if served != nil {
+				c.finish(cb, *served, begun)
+			} else {
+				lastErr.Err = ErrAllReplicasDown
+				c.finish(cb, lastErr, begun)
+			}
+		}
+	}
+	for _, id := range reps {
+		id := id
+		var err error
+		if isDelete {
+			err = c.subs[id].Delete(key, func(r kv.Result) { resolve(id, r) })
+		} else {
+			err = c.subs[id].Put(key, value, func(r kv.Result) { resolve(id, r) })
+		}
+		if err != nil {
+			resolve(id, kv.Result{Key: key, Status: kv.StatusTimeout, Err: err})
+		}
+	}
+	return nil
+}
+
+// MultiGet reads a batch of keys and delivers all results in one
+// callback, in key order. Issue order is grouped by primary shard so
+// requests to the same shard are batched back-to-back (they share the
+// sub-client's request window and doorbells); each key still gets the
+// full failover treatment of Get.
+func (c *Client) MultiGet(keys []kv.Key, cb func([]kv.Result)) error {
+	results := make([]kv.Result, len(keys))
+	if len(keys) == 0 {
+		if cb != nil {
+			cb(results)
+		}
+		return nil
+	}
+	if c.d.ring.Size() == 0 {
+		return ErrNoShards
+	}
+	for _, k := range keys {
+		if k.IsZero() {
+			return mica.ErrZeroKey
+		}
+	}
+	c.telMGOps.Inc()
+	c.telMGKeys.Add(uint64(len(keys)))
+	// Stable bucket sort of key indices by primary shard.
+	byShard := make(map[int][]int)
+	for i, k := range keys {
+		p := c.d.ring.Primary(k)
+		byShard[p] = append(byShard[p], i)
+	}
+	remaining := len(keys)
+	issue := func(idx int) error {
+		return c.Get(keys[idx], func(r kv.Result) {
+			results[idx] = r
+			remaining--
+			if remaining == 0 && cb != nil {
+				cb(results)
+			}
+		})
+	}
+	// Iterate shards in ring order for determinism (map order is not
+	// deterministic).
+	for _, sid := range c.d.ring.Shards() {
+		for _, idx := range byShard[sid] {
+			if err := issue(idx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

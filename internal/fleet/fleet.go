@@ -1,0 +1,377 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/core"
+	"herdkv/internal/fault"
+	"herdkv/internal/kv"
+	"herdkv/internal/mica"
+	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
+)
+
+// Errors returned by deployment operations.
+var (
+	ErrNoShards        = errors.New("fleet: no live shards")
+	ErrMigrating       = errors.New("fleet: a membership change is already in progress")
+	ErrUnknownShard    = errors.New("fleet: unknown shard id")
+	ErrLastReplica     = errors.New("fleet: cannot remove below one live shard")
+	ErrShardNotLive    = errors.New("fleet: shard is not live")
+	ErrAllReplicasDown = errors.New("fleet: all replicas failed")
+)
+
+// Config parameterizes a fleet deployment.
+type Config struct {
+	// Herd configures each member HERD server and its clients.
+	Herd core.Config
+	// Replication is the replica count R per key (default 2, clamped
+	// to the live shard count).
+	Replication int
+	// VirtualNodes per shard on the consistent-hash ring (default 64).
+	VirtualNodes int
+	// MigrationBatch is how many keys one background migration step
+	// copies (default 64).
+	MigrationBatch int
+	// MigrationInterval is the virtual-time spacing between migration
+	// steps (default 2us), bounding how much control-plane copying can
+	// interleave with foreground traffic.
+	MigrationInterval sim.Time
+	// Probation is how long a client avoids reading from a shard after
+	// an operation against it failed terminally (default 200us). Writes
+	// still fan out to suspected shards so their caches stay warm for
+	// when they return.
+	Probation sim.Time
+}
+
+// DefaultConfig returns the fleet defaults on top of core's HERD
+// defaults (with retries enabled: failover needs terminal timeouts).
+func DefaultConfig() Config {
+	hc := core.DefaultConfig()
+	hc.RetryTimeout = 12 * sim.Microsecond
+	return Config{
+		Herd:              hc,
+		Replication:       2,
+		VirtualNodes:      64,
+		MigrationBatch:    64,
+		MigrationInterval: 2 * sim.Microsecond,
+		Probation:         200 * sim.Microsecond,
+	}
+}
+
+func (c *Config) setDefaults() {
+	// Failover needs terminal timeouts: with retries disabled an
+	// operation against a crashed shard would hang forever instead of
+	// failing over, so the fleet always enables them.
+	if c.Herd.RetryTimeout <= 0 {
+		c.Herd.RetryTimeout = 12 * sim.Microsecond
+	}
+	if c.Replication < 1 {
+		c.Replication = 2
+	}
+	if c.VirtualNodes < 1 {
+		c.VirtualNodes = 64
+	}
+	if c.MigrationBatch < 1 {
+		c.MigrationBatch = 64
+	}
+	if c.MigrationInterval <= 0 {
+		c.MigrationInterval = 2 * sim.Microsecond
+	}
+	if c.Probation <= 0 {
+		c.Probation = 200 * sim.Microsecond
+	}
+}
+
+// shard is one ring member: a HERD server plus its liveness flag.
+// Shard ids are stable for the deployment's lifetime and never reused;
+// a removed shard keeps its id but leaves the ring.
+type shard struct {
+	id      int
+	machine *cluster.Machine
+	srv     *core.Server
+	live    bool
+}
+
+// migEntry is one key scheduled for background copying.
+type migEntry struct {
+	key   kv.Key
+	src   int   // source shard id (value re-read at copy time)
+	dests []int // destination shard ids
+}
+
+// migration tracks one in-progress membership change.
+type migration struct {
+	target   *Ring
+	queue    []migEntry
+	pos      int
+	removeID int // shard leaving the ring, or -1
+	done     func()
+}
+
+// Deployment is a consistent-hash fleet of HERD servers with per-key
+// replication. Placement derives from the cluster seed (via
+// core.PlacementSeed), so a deployment replays identically for a given
+// seed and differs across seeds.
+type Deployment struct {
+	cfg     Config
+	eng     *sim.Engine
+	ring    *Ring
+	shards  []*shard
+	clients []*Client
+	mig     *migration
+
+	tel        *telemetry.Sink
+	migKeys    *telemetry.Counter
+	migRounds  *telemetry.Counter
+	migActive  *telemetry.Gauge
+	migPending *telemetry.Gauge
+}
+
+// NewDeployment builds a fleet with one HERD server per machine. All
+// machines must belong to the same cluster (they share its engine).
+func NewDeployment(machines []*cluster.Machine, cfg Config) (*Deployment, error) {
+	if len(machines) < 1 {
+		return nil, fmt.Errorf("fleet: deployment needs at least one server machine")
+	}
+	cfg.setDefaults()
+	d := &Deployment{
+		cfg: cfg,
+		eng: machines[0].Verbs.NIC().Engine(),
+		tel: machines[0].Verbs.Telemetry(),
+	}
+	d.migKeys = d.tel.Counter("fleet.migration.keys")
+	d.migRounds = d.tel.Counter("fleet.migration.rounds")
+	d.migActive = d.tel.Gauge("fleet.migration.active")
+	d.migPending = d.tel.Gauge("fleet.migration.pending")
+	d.ring = NewRing(core.PlacementSeed(machines[0]), cfg.VirtualNodes)
+	for _, m := range machines {
+		srv, err := core.NewServer(m, cfg.Herd)
+		if err != nil {
+			return nil, err
+		}
+		id := len(d.shards)
+		d.shards = append(d.shards, &shard{id: id, machine: m, srv: srv, live: true})
+		d.ring = d.ring.WithShard(id)
+	}
+	return d, nil
+}
+
+// Ring returns the current routing ring (immutable snapshot).
+func (d *Deployment) Ring() *Ring { return d.ring }
+
+// Shards returns the number of live shards.
+func (d *Deployment) Shards() int {
+	n := 0
+	for _, sh := range d.shards {
+		if sh.live {
+			n++
+		}
+	}
+	return n
+}
+
+// Server returns shard id's server (nil for unknown ids).
+func (d *Deployment) Server(id int) *core.Server {
+	if id < 0 || id >= len(d.shards) {
+		return nil
+	}
+	return d.shards[id].srv
+}
+
+// Replication returns the effective replica count: configured R clamped
+// to the ring size.
+func (d *Deployment) Replication() int {
+	r := d.cfg.Replication
+	if n := d.ring.Size(); r > n {
+		r = n
+	}
+	return r
+}
+
+// Replicas returns key's current replica set (primary first).
+func (d *Deployment) Replicas(key kv.Key) []int {
+	return d.ring.Replicas(key, d.Replication())
+}
+
+// Preload inserts key on every replica without network traffic.
+func (d *Deployment) Preload(key kv.Key, value []byte) error {
+	for _, id := range d.Replicas(key) {
+		if err := d.shards[id].srv.Preload(key, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterCrashTargets registers every live shard's server with the
+// fault injector, keyed by its machine's node id, so scripted Crash
+// events take down the right process.
+func (d *Deployment) RegisterCrashTargets(inj *fault.Injector) {
+	for _, sh := range d.shards {
+		if sh.live {
+			inj.SetCrashTarget(sh.machine.Verbs.Node(), sh.srv)
+		}
+	}
+}
+
+// MigrationActive reports whether a membership change is in progress.
+func (d *Deployment) MigrationActive() bool { return d.mig != nil }
+
+// AddShard grows the fleet: a new HERD server starts on m, every
+// connected client attaches to it, and a background migration copies
+// the keys the new shard now replicates. The routing ring switches to
+// include the shard only when the copy completes (done, if non-nil,
+// runs at that point); until then traffic routes on the old ring.
+// Returns the new shard's id.
+func (d *Deployment) AddShard(m *cluster.Machine, done func()) (int, error) {
+	if d.mig != nil {
+		return 0, ErrMigrating
+	}
+	srv, err := core.NewServer(m, d.cfg.Herd)
+	if err != nil {
+		return 0, err
+	}
+	id := len(d.shards)
+	sh := &shard{id: id, machine: m, srv: srv, live: true}
+	d.shards = append(d.shards, sh)
+	for _, c := range d.clients {
+		if err := c.attach(sh); err != nil {
+			return 0, err
+		}
+	}
+	target := d.ring.WithShard(id)
+	rf := d.cfg.Replication
+	if n := target.Size(); rf > n {
+		rf = n
+	}
+	// The new shard must hold every key whose target replica set
+	// includes it. Writes fan out to all replicas, so scanning each
+	// live shard's partitions covers every such key; a membership set
+	// dedupes the multiple replicas holding the same key.
+	seen := make(map[kv.Key]struct{})
+	var queue []migEntry
+	for _, src := range d.shards {
+		if !src.live || src.id == id {
+			continue
+		}
+		for p := 0; p < d.cfg.Herd.NS; p++ {
+			src.srv.Partition(p).Range(func(key mica.Key, _ []byte) bool {
+				if _, dup := seen[key]; dup {
+					return true
+				}
+				reps := target.Replicas(key, rf)
+				for _, rep := range reps {
+					if rep == id {
+						seen[key] = struct{}{}
+						queue = append(queue, migEntry{key: key, src: src.id, dests: []int{id}})
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+	d.startMigration(&migration{target: target, queue: queue, removeID: -1, done: done})
+	return id, nil
+}
+
+// RemoveShard drains shard id out of the fleet: its resident keys are
+// copied to their post-removal replica sets in the background, and when
+// the copy completes the ring drops the shard, it stops receiving
+// traffic, and done (if non-nil) runs. The server process itself keeps
+// running (detached) so in-flight operations against it can finish.
+func (d *Deployment) RemoveShard(id int, done func()) error {
+	if d.mig != nil {
+		return ErrMigrating
+	}
+	if id < 0 || id >= len(d.shards) {
+		return ErrUnknownShard
+	}
+	sh := d.shards[id]
+	if !sh.live {
+		return ErrShardNotLive
+	}
+	if d.ring.Size() <= 1 {
+		return ErrLastReplica
+	}
+	target := d.ring.WithoutShard(id)
+	rf := d.cfg.Replication
+	if n := target.Size(); rf > n {
+		rf = n
+	}
+	// Every key with the leaving shard in its replica set is resident on
+	// it (writes fan out), so scanning only the leaving shard finds all
+	// keys whose replica sets change. Copying to the full target set is
+	// idempotent and heals the replica the removal would otherwise lose.
+	var queue []migEntry
+	for p := 0; p < d.cfg.Herd.NS; p++ {
+		sh.srv.Partition(p).Range(func(key mica.Key, _ []byte) bool {
+			queue = append(queue, migEntry{key: key, src: id, dests: target.Replicas(key, rf)})
+			return true
+		})
+	}
+	d.startMigration(&migration{target: target, queue: queue, removeID: id, done: done})
+	return nil
+}
+
+func (d *Deployment) startMigration(m *migration) {
+	d.mig = m
+	d.migRounds.Inc()
+	d.migActive.Set(1)
+	d.migPending.Set(int64(len(m.queue)))
+	d.eng.After(d.cfg.MigrationInterval, d.migrationStep)
+}
+
+// migrationStep copies one batch of keys. Values are re-read from the
+// source partition at copy time, so writes that land between the scan
+// and the copy are not lost; writes racing the copy itself can still be
+// shadowed on the destination (documented in docs/SCALEOUT.md — the
+// backing store is a lossy cache, so a stale or missing replica entry
+// is within contract).
+func (d *Deployment) migrationStep() {
+	m := d.mig
+	if m == nil {
+		return
+	}
+	end := m.pos + d.cfg.MigrationBatch
+	if end > len(m.queue) {
+		end = len(m.queue)
+	}
+	for ; m.pos < end; m.pos++ {
+		e := m.queue[m.pos]
+		src := d.shards[e.src].srv
+		part := src.Partition(mica.Partition(e.key, d.cfg.Herd.NS))
+		v, ok := part.Get(e.key)
+		if !ok {
+			continue // evicted or deleted since the scan
+		}
+		val := append([]byte(nil), v...)
+		for _, dst := range e.dests {
+			if dst == e.src {
+				continue
+			}
+			// Preload is a control-plane insert; mica may still refuse
+			// (store-mode full), which migration treats like eviction.
+			_ = d.shards[dst].srv.Preload(e.key, val)
+		}
+		d.migKeys.Inc()
+	}
+	d.migPending.Set(int64(len(m.queue) - m.pos))
+	if m.pos < len(m.queue) {
+		d.eng.After(d.cfg.MigrationInterval, d.migrationStep)
+		return
+	}
+	// Commit: swap the ring, detach a leaving shard, release.
+	d.ring = m.target
+	if m.removeID >= 0 {
+		d.shards[m.removeID].live = false
+	}
+	d.mig = nil
+	d.migActive.Set(0)
+	if m.done != nil {
+		m.done()
+	}
+}

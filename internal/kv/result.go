@@ -1,0 +1,108 @@
+// Unified client-facing operation outcome and the common KV client
+// interface. HERD, Pilaf-em, FaRM-em, the sharded deployment and the
+// fleet layer all complete operations with the same Result shape and
+// satisfy the same KV interface, so drivers, experiments and
+// applications are written once against this vocabulary instead of
+// switching on system-specific result types.
+package kv
+
+import "herdkv/internal/sim"
+
+// Status is the shared outcome vocabulary of a key-value operation.
+// Every backend maps its wire-level response onto one of these four
+// codes, so callers never need to inspect system-specific fields to
+// classify an outcome.
+type Status uint8
+
+// Operation outcomes.
+const (
+	// StatusUnknown is the zero value: the operation has not resolved
+	// (or a legacy constructor forgot to classify it).
+	StatusUnknown Status = iota
+	// StatusHit: the operation was served and found/applied its key — a
+	// GET that returned a value, a PUT that was stored, a DELETE that
+	// removed a present key.
+	StatusHit
+	// StatusMiss: the operation was served but the key was absent (GET
+	// miss, DELETE of a missing key) or the store rejected the update
+	// (full store-mode partition).
+	StatusMiss
+	// StatusTimeout: the operation failed terminally after exhausting
+	// its retry budget — the server is crashed, partitioned away, or
+	// the fabric ate every attempt. Result.Err is non-nil.
+	StatusTimeout
+	// StatusFlushed: the operation was aborted because its queue pair
+	// flushed in error with no retry machinery to reissue it.
+	StatusFlushed
+)
+
+// String returns the lowercase status word used in tables and logs.
+func (s Status) String() string {
+	switch s {
+	case StatusHit:
+		return "hit"
+	case StatusMiss:
+		return "miss"
+	case StatusTimeout:
+		return "timeout"
+	case StatusFlushed:
+		return "flushed"
+	}
+	return "unknown"
+}
+
+// Served reports whether the server answered the operation (hit or
+// miss) as opposed to it failing in transit.
+func (s Status) Served() bool { return s == StatusHit || s == StatusMiss }
+
+// Result is the outcome of one key-value operation, delivered to the
+// caller's callback when the operation resolves. It is shared by every
+// backend; Status carries the unified outcome classification.
+type Result struct {
+	Key     Key
+	IsGet   bool
+	Status  Status
+	Value   []byte // GET hit: the value (copied)
+	Latency sim.Time
+	Err     error // terminal failure (e.g. a retry-budget timeout); nil on a served response
+
+	// OK reports a StatusHit outcome.
+	//
+	// Deprecated: switch on Status, which also distinguishes timeouts
+	// and flushed operations from misses.
+	OK bool
+
+	// Reads counts client-driven READ verbs issued for this operation
+	// (Pilaf bucket probes + extent READ, FaRM neighborhood + value
+	// READ). Zero for server-CPU designs like HERD.
+	Reads int
+
+	// Probes counts Pilaf cuckoo bucket READs only.
+	//
+	// Deprecated: use Reads, which counts all client-driven READs.
+	Probes int
+}
+
+// KV is the common client interface implemented by every key-value
+// backend: HERD (core.Client), the sharded and fleet deployments, and
+// the Pilaf-em and FaRM-em baselines. Operations are asynchronous; cb
+// runs on the simulation engine when the operation resolves. The
+// returned error reports synchronous rejection (malformed key/value)
+// only — asynchronous failures arrive as Result.Status / Result.Err.
+type KV interface {
+	// Get fetches key; cb receives a hit with the value, or a miss.
+	Get(key Key, cb func(Result)) error
+	// Put stores value under key.
+	Put(key Key, value []byte, cb func(Result)) error
+	// Delete removes key; the result reports whether it was present.
+	Delete(key Key, cb func(Result)) error
+	// Inflight returns the number of unresolved operations.
+	Inflight() int
+	// Issued and Completed count operations submitted to the fabric and
+	// operations resolved with a served response.
+	Issued() uint64
+	Completed() uint64
+	// Failed counts operations that resolved terminally unserved
+	// (timeout or flush).
+	Failed() uint64
+}

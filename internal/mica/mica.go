@@ -314,6 +314,40 @@ func (c *Cache) Delete(key Key) bool {
 	return false
 }
 
+// Range calls fn for every live entry in the partition, in index-slot
+// order (deterministic for a given history), until fn returns false.
+// The value slice aliases the log and is valid only within the call.
+// Range performs no timing-model accounting: it is a control-plane
+// walk for migration and diagnostics, not a data-path operation.
+func (c *Cache) Range(fn func(key Key, value []byte) bool) {
+	size := uint64(len(c.log))
+	for i := range c.slots {
+		s := &c.slots[i]
+		if !s.used {
+			continue
+		}
+		if s.off >= c.head || c.head-s.off > size {
+			continue // overwritten by log wraparound
+		}
+		pos := s.off % size
+		if pos+entryHeader > size {
+			continue
+		}
+		var key Key
+		copy(key[:], c.log[pos:pos+KeySize])
+		if key.IsZero() {
+			continue
+		}
+		vlen := uint64(binary.LittleEndian.Uint16(c.log[pos+KeySize : pos+entryHeader]))
+		if pos+entryHeader+vlen > size || c.head-s.off < entryHeader+vlen {
+			continue
+		}
+		if !fn(key, c.log[pos+entryHeader:pos+entryHeader+vlen]) {
+			return
+		}
+	}
+}
+
 // AccessesPerGet is the worst-case random-access count for a GET,
 // AccessesPerPut for a PUT — inputs to the server CPU timing model
 // (Section 4.1: "each GET requires up to two random memory lookups, and

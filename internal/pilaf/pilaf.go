@@ -48,6 +48,10 @@ func DefaultConfig() Config {
 const (
 	putHdr  = kv.KeySize + 2 // key + value length
 	ackSize = 1
+
+	// lenDelete in the length field marks a DELETE message on the PUT
+	// channel (values are bounded well below it).
+	lenDelete = 0xffff
 )
 
 // Server is the Pilaf server: a cuckoo table in RDMA-visible memory plus
@@ -61,6 +65,7 @@ type Server struct {
 	nextCore int
 
 	puts, putErrs uint64
+	deletes       uint64
 }
 
 // NewServer initializes Pilaf on machine m.
@@ -78,23 +83,22 @@ func NewServer(m *cluster.Machine, cfg Config) (*Server, error) {
 // Table exposes the underlying cuckoo table (tests, preloading).
 func (s *Server) Table() *cuckoo.Table { return s.table }
 
-// Puts reports served PUT counts.
+// Puts reports served PUT-channel message counts (PUTs and DELETEs).
 func (s *Server) Puts() uint64 { return s.puts }
+
+// Deletes reports served DELETE counts.
+func (s *Server) Deletes() uint64 { return s.deletes }
 
 // Insert loads a key server-side (warmup without network traffic).
 func (s *Server) Insert(key kv.Key, value []byte) error {
 	return s.table.Insert(key, value)
 }
 
-// Result is the outcome of a client operation.
-type Result struct {
-	Key     kv.Key
-	IsGet   bool
-	OK      bool
-	Value   []byte
-	Latency sim.Time
-	Probes  int // bucket READs issued (GETs)
-}
+// Result is the outcome of a client operation — an alias of the
+// unified kv.Result. Result.Probes (deprecated) counts bucket READs;
+// Result.Reads counts all client-driven READs including the extent
+// fetch.
+type Result = kv.Result
 
 // Client is one Pilaf client: an RC QP for READs and a UC QP pair for
 // PUT messages.
@@ -121,7 +125,24 @@ type Client struct {
 	// not outrun the server's pre-posted RECVs).
 	inflight int
 	waiting  []func()
+
+	issued, completed uint64
 }
+
+// Client implements the shared client interface.
+var _ kv.KV = (*Client)(nil)
+
+// Inflight returns the number of outstanding operations.
+func (c *Client) Inflight() int { return c.inflight }
+
+// Issued and Completed report operation counts.
+func (c *Client) Issued() uint64    { return c.issued }
+func (c *Client) Completed() uint64 { return c.completed }
+
+// Failed is always zero: Pilaf-em has no retry machinery, so no
+// operation resolves terminally unserved (errored queue pairs panic
+// instead — crash recovery is unsupported territory here).
+func (c *Client) Failed() uint64 { return 0 }
 
 // startOp gates an operation on the client window; fn runs when a slot
 // is free.
@@ -147,6 +168,7 @@ func (c *Client) finishOp() {
 
 type putOp struct {
 	key      kv.Key
+	isDelete bool
 	issuedAt sim.Time
 	cb       func(Result)
 }
@@ -204,11 +226,19 @@ func (s *Server) handlePut(c *Client, stage *verbs.MR, comp verbs.Completion) {
 		copy(key[:], data[:kv.KeySize])
 		vlen := int(binary.LittleEndian.Uint16(data[kv.KeySize:putHdr]))
 		status := byte(1)
-		if vlen < 0 || putHdr+vlen > len(data) {
+		switch {
+		case vlen == lenDelete:
+			if !s.table.Delete(key) {
+				status = 0
+			}
+			s.deletes++
+		case putHdr+vlen > len(data):
 			status = 0
-		} else if err := s.table.Insert(key, data[putHdr:putHdr+vlen]); err != nil {
-			status = 0
-			s.putErrs++
+		default:
+			if err := s.table.Insert(key, data[putHdr:putHdr+vlen]); err != nil {
+				status = 0
+				s.putErrs++
+			}
 		}
 		s.puts++
 		// Repost the consumed RECV slot.
@@ -226,10 +256,15 @@ func (c *Client) handleAck(comp verbs.Completion) {
 	op := c.pendingPuts[0]
 	c.pendingPuts = c.pendingPuts[1:]
 	ok := len(comp.Data) >= 1 && comp.Data[0] == 1
+	c.completed++
 	c.finishOp()
 	if op.cb != nil {
+		status := kv.StatusMiss
+		if ok {
+			status = kv.StatusHit
+		}
 		op.cb(Result{
-			Key: op.key, OK: ok,
+			Key: op.key, OK: ok, Status: status,
 			Latency: c.now() - op.issuedAt,
 		})
 	}
@@ -244,24 +279,38 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 	if len(value) > cuckoo.MaxValueSize {
 		return cuckoo.ErrValueSize
 	}
-	val := append([]byte(nil), value...)
+	c.sendPutChannel(key, append([]byte(nil), value...), uint16(len(value)), false, cb)
+	return nil
+}
+
+// Delete removes key via the PUT message channel (a length-sentinel
+// message the server CPU applies to the cuckoo table). Result.Status
+// reports hit (removed) or miss (absent).
+func (c *Client) Delete(key kv.Key, cb func(Result)) error {
+	c.sendPutChannel(key, nil, lenDelete, true, cb)
+	return nil
+}
+
+// sendPutChannel issues one message on the SEND/RECV channel: a PUT
+// body or the DELETE sentinel.
+func (c *Client) sendPutChannel(key kv.Key, val []byte, vlen uint16, isDelete bool, cb func(Result)) {
 	c.startOp(func() {
+		c.issued++
 		// Post the ack RECV before the request.
 		mustPost(c.ucQP.PostRecv(c.ackMR, 0, ackSize, 0))
 
 		msg := make([]byte, putHdr+len(val))
 		copy(msg, key[:])
-		binary.LittleEndian.PutUint16(msg[kv.KeySize:], uint16(len(val)))
+		binary.LittleEndian.PutUint16(msg[kv.KeySize:], vlen)
 		copy(msg[putHdr:], val)
 
-		c.pendingPuts = append(c.pendingPuts, &putOp{key: key, issuedAt: c.now(), cb: cb})
+		c.pendingPuts = append(c.pendingPuts, &putOp{key: key, isDelete: isDelete, issuedAt: c.now(), cb: cb})
 		mustPost(c.ucQP.PostSend(verbs.SendWR{
 			Verb:   verbs.SEND,
 			Data:   msg,
 			Inline: len(msg) <= c.machine.Verbs.NIC().Params().InlineMax,
 		}))
 	})
-	return nil
 }
 
 // Get performs a client-driven GET: bucket READs until the key's
@@ -274,6 +323,7 @@ func (c *Client) Get(key kv.Key, cb func(Result)) error {
 
 func (c *Client) doGet(key kv.Key, cb func(Result)) {
 	start := c.now()
+	c.issued++
 	idxs := c.srv.table.BucketIndices(key)
 	frag := cuckoo.Frag(key)
 	res := Result{Key: key, IsGet: true}
@@ -284,6 +334,11 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 
 	finish := func() {
 		res.Latency = c.now() - start
+		res.Status = kv.StatusMiss
+		if res.OK {
+			res.Status = kv.StatusHit
+		}
+		c.completed++
 		c.finishOp()
 		if cb != nil {
 			cb(res)
@@ -298,6 +353,7 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 		idx := idxs[probe]
 		probe++
 		res.Probes++
+		res.Reads++
 		// Each probe lands in its own scratch slot.
 		lo := (int(c.readSeq) % (c.srv.cfg.Window + 1)) * 2 * 1024
 		c.readSeq++
@@ -325,6 +381,7 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 	}
 
 	fetchValue = func(b cuckoo.Bucket) {
+		res.Reads++
 		n := cuckoo.EntryBytes(int(b.VLen))
 		lo := (int(c.readSeq) % (c.srv.cfg.Window + 1)) * 2 * 1024
 		c.readSeq++
