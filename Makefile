@@ -20,9 +20,12 @@ race:
 	$(GO) test -race ./...
 
 # Scale-out comparison: single server vs 4-shard sharded vs 4-shard R=2
-# fleet. Prints the table and writes BENCH_fleet.json.
+# fleet. Prints the table and writes BENCH_fleet.json. The overload
+# sweep (goodput + p99 vs offered load, with and without the overload
+# controller) rides along and writes BENCH_overload.json.
 bench:
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -benchjson BENCH_fleet.json fleet-bench
+	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -overloadjson BENCH_overload.json overload
 
 microbench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

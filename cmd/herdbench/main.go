@@ -14,7 +14,9 @@
 // "fleet-bench" compares single vs sharded vs replicated-fleet
 // deployments (-benchjson also writes the result as JSON) and
 // "fleet-chaos" runs the fleet through a shard crash; see
-// docs/SCALEOUT.md.
+// docs/SCALEOUT.md. "overload" sweeps offered load past saturation with
+// and without the overload controller (-overloadjson writes the sweep
+// as JSON); see docs/ROBUSTNESS.md.
 //
 // -metrics dumps the cluster-wide metric registry (per-verb posted and
 // completion counters, PCIe transaction counts, NIC cache hit rates,
@@ -50,6 +52,7 @@ func main() {
 	perQP := flag.Bool("perqp", false, "with -metrics: also keep per-queue-pair posted counters")
 	faultsFile := flag.String("faults", "", "chaos script for the chaos target (overrides the packaged scenario)")
 	benchJSON := flag.String("benchjson", "", "with the fleet-bench target: also write the comparison as JSON to this file")
+	overloadJSON := flag.String("overloadjson", "", "with the overload target: also write the sweep as JSON to this file")
 	flag.Parse()
 
 	experiments.Warmup = sim.Time(*warmupUS) * sim.Microsecond
@@ -116,6 +119,17 @@ func main() {
 		},
 		"fleet-chaos": func() *experiments.Table { return experiments.FleetChaosScenario(spec) },
 
+		// Overload: goodput and tail latency vs offered load, with and
+		// without admission control + busy pushback + client AIMD
+		// (docs/ROBUSTNESS.md).
+		"overload": func() *experiments.Table {
+			tbl, res := experiments.Overload(spec)
+			if *overloadJSON != "" {
+				writeFile(*overloadJSON, res.WriteJSON)
+			}
+			return tbl
+		},
+
 		// Robustness: HERD under a scripted fault schedule.
 		"chaos": func() *experiments.Table {
 			if *faultsFile == "" {
@@ -140,7 +154,7 @@ func main() {
 		"ablation-arch", "ablation-inline", "ablation-window", "ablation-prefetch",
 		"ablation-doorbell",
 		"anatomy", "cpuuse", "symmetric", "classical", "chaos",
-		"fleet-bench", "fleet-chaos",
+		"fleet-bench", "fleet-chaos", "overload",
 	}
 
 	if *list {

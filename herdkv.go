@@ -48,7 +48,7 @@ type Key = kv.Key
 type KV = kv.KV
 
 // Status classifies an operation outcome with a vocabulary shared by
-// all systems: hit, miss, timeout, flushed.
+// all systems: hit, miss, timeout, flushed, busy.
 type Status = kv.Status
 
 // Operation outcomes.
@@ -58,6 +58,7 @@ const (
 	StatusMiss    = kv.StatusMiss
 	StatusTimeout = kv.StatusTimeout
 	StatusFlushed = kv.StatusFlushed
+	StatusBusy    = kv.StatusBusy
 )
 
 // KeyFromUint64 derives a well-mixed, non-zero keyhash from n.
@@ -284,6 +285,11 @@ func ParseFaultSchedule(script string) (*FaultSchedule, error) {
 // ErrTimedOut is the terminal error of a HERD operation that exhausted
 // its retry budget without a response.
 var ErrTimedOut = core.ErrTimedOut
+
+// ErrOverloaded is the terminal error of a HERD operation whose
+// Config.OpDeadline expired while the server was pushing back with
+// busy responses (docs/ROBUSTNESS.md, "Overload & admission control").
+var ErrOverloaded = core.ErrOverloaded
 
 // Telemetry (docs/OBSERVABILITY.md).
 

@@ -22,6 +22,14 @@ import (
 // reissue.
 var ErrTimedOut = errors.New("herd: operation timed out after retry budget")
 
+// ErrOverloaded is the terminal error of an operation the server kept
+// shedding (StatusBusy pushback) until the op's deadline
+// (Config.OpDeadline) passed. Unlike ErrTimedOut, the server is alive
+// and answering — it is refusing work faster than it can serve it — so
+// callers should back off or steer to a replica, not treat this as a
+// crash.
+var ErrOverloaded = errors.New("herd: server overloaded; op deadline passed before admission")
+
 // Result is the outcome of one HERD operation, delivered to the caller's
 // callback when the response SEND arrives — or when the op fails
 // terminally, in which case Err is non-nil and Status is
@@ -47,6 +55,13 @@ type pendingOp struct {
 	value    []byte
 	issuedAt sim.Time
 	cb       func(Result)
+
+	// began/begun record the op's FIRST issue: busy pushback reissues
+	// the op as a fresh wire transaction, but latency and the per-op
+	// deadline are measured from the original issue.
+	began    bool
+	begun    sim.Time
+	deadline sim.Time // begun + Config.OpDeadline; zero when disabled
 
 	// Retry state.
 	proc    int
@@ -112,6 +127,14 @@ type Client struct {
 	failed                     uint64 // terminal retry-budget failures
 	corruptResponses           uint64 // responses rejected by the status check
 	reconnects                 uint64 // completed re-registration handshakes
+	busyRx                     uint64 // StatusBusy pushback responses received
+	windowShrinks              uint64 // multiplicative-decrease events
+
+	// cwnd is the AIMD congestion window (Config.AdaptiveWindow):
+	// fractional so additive increase accumulates 1/cwnd per clean
+	// completion; the effective window is int(cwnd) clamped to
+	// [1, Config.Window].
+	cwnd float64
 
 	// rng drives backoff jitter; seeded from the machine seed and client
 	// id so retry timing is deterministic per run.
@@ -127,7 +150,8 @@ type Client struct {
 	tel                                 *telemetry.Sink
 	telIssued, telCompleted, telRetried *telemetry.Counter
 	telDup, telFailed, telCorrupt       *telemetry.Counter
-	telReconnects                       *telemetry.Counter
+	telReconnects, telBusyRx            *telemetry.Counter
+	telWindow                           *telemetry.Gauge
 	latGet, latPut, latDel              *telemetry.Histogram
 }
 
@@ -151,6 +175,19 @@ func (c *Client) CorruptResponses() uint64 { return c.corruptResponses }
 // Reconnects reports completed crash-recovery handshakes.
 func (c *Client) Reconnects() uint64 { return c.reconnects }
 
+// BusyResponses reports StatusBusy pushback responses received from the
+// server's admission controller.
+func (c *Client) BusyResponses() uint64 { return c.busyRx }
+
+// WindowShrinks reports multiplicative-decrease events of the AIMD
+// window (busy pushback, terminal timeouts).
+func (c *Client) WindowShrinks() uint64 { return c.windowShrinks }
+
+// Window returns the client's current effective request window: the
+// AIMD window when Config.AdaptiveWindow is set, Config.Window
+// otherwise.
+func (c *Client) Window() int { return c.window() }
+
 // ConnectClient attaches a HERD client on machine m: it establishes the
 // UC connection for requests (the only connected QP the server needs per
 // client — Section 4.2) and the NS UD response QPs.
@@ -167,6 +204,7 @@ func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
 		slotFree: make([][]sim.Time, s.cfg.NS),
 		slotWait: make([][]*pendingOp, s.cfg.NS),
 		rng:      sim.NewRand(m.Seed*4099 + int64(s.nextCli)),
+		cwnd:     float64(s.cfg.Window),
 	}
 	for p := range c.slotFree {
 		c.slotFree[p] = make([]sim.Time, s.cfg.Window)
@@ -180,6 +218,9 @@ func (s *Server) ConnectClient(m *cluster.Machine) (*Client, error) {
 	c.telFailed = c.tel.Counter("herd.ops.failed")
 	c.telCorrupt = c.tel.Counter("herd.responses.corrupt")
 	c.telReconnects = c.tel.Counter("herd.reconnects")
+	c.telBusyRx = c.tel.Counter("herd.busy_rx")
+	c.telWindow = c.tel.Gauge("client.window")
+	c.telWindow.Set(int64(c.window()))
 	c.latGet = c.tel.Histogram("herd.get.latency")
 	c.latPut = c.tel.Histogram("herd.put.latency")
 	c.latDel = c.tel.Histogram("herd.delete.latency")
@@ -264,8 +305,70 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 	return nil
 }
 
+// window returns the effective request window: Config.Window when the
+// AIMD controller is disabled, otherwise the integer part of cwnd
+// clamped to [1, Config.Window].
+func (c *Client) window() int {
+	if !c.srv.cfg.AdaptiveWindow {
+		return c.srv.cfg.Window
+	}
+	w := int(c.cwnd)
+	if w < 1 {
+		w = 1
+	}
+	if w > c.srv.cfg.Window {
+		w = c.srv.cfg.Window
+	}
+	return w
+}
+
+// aimdGrow applies additive increase after a clean served completion:
+// cwnd grows by 1/cwnd, i.e. one slot per window's worth of successes.
+func (c *Client) aimdGrow() {
+	if !c.srv.cfg.AdaptiveWindow {
+		return
+	}
+	if c.cwnd < float64(c.srv.cfg.Window) {
+		c.cwnd += 1 / c.cwnd
+		if c.cwnd > float64(c.srv.cfg.Window) {
+			c.cwnd = float64(c.srv.cfg.Window)
+		}
+	}
+	c.telWindow.Set(int64(c.window()))
+}
+
+// aimdShrink applies multiplicative decrease on a congestion signal
+// (busy pushback or a terminal timeout): cwnd halves, floored at 1.
+func (c *Client) aimdShrink() {
+	if !c.srv.cfg.AdaptiveWindow {
+		return
+	}
+	c.cwnd /= 2
+	if c.cwnd < 1 {
+		c.cwnd = 1
+	}
+	c.windowShrinks++
+	c.telWindow.Set(int64(c.window()))
+}
+
+// pumpWaiting issues queued ops while the effective window has room.
+// issue() can defer an op (slot collision or quarantine) without raising
+// inflight; the break keeps one deferred op from draining the whole
+// queue into parked limbo in a single call.
+func (c *Client) pumpWaiting() {
+	for len(c.waiting) > 0 && c.inflight < c.window() {
+		before := c.inflight
+		op := c.waiting[0]
+		c.waiting = c.waiting[1:]
+		c.issue(op)
+		if c.inflight == before {
+			break
+		}
+	}
+}
+
 func (c *Client) submit(op *pendingOp) {
-	if c.inflight >= c.srv.cfg.Window {
+	if c.inflight >= c.window() {
 		c.waiting = append(c.waiting, op)
 		return
 	}
@@ -344,14 +447,25 @@ func (c *Client) issue(op *pendingOp) {
 	op.payload = payload
 	op.slotOff = slotOff + SlotSize - len(payload)
 	op.issuedAt = c.machine.Verbs.NIC().Engine().Now()
+	if !op.began {
+		// First issue: latency and the per-op deadline are anchored
+		// here; busy-pushback reissues keep the original anchors.
+		op.began = true
+		op.begun = op.issuedAt
+		if cfg.OpDeadline > 0 {
+			op.deadline = op.begun + cfg.OpDeadline
+		}
+	}
 	c.inflight++
 	c.issued++
 	c.telIssued.Inc()
 	c.perProc[proc] = append(c.perProc[proc], op)
 
 	if c.tel.Tracing() {
-		op.trace = c.tel.StartTrace(op.kind.kindName(), op.issuedAt)
-		op.trace.SetPrefix("req.")
+		if op.trace == nil {
+			op.trace = c.tel.StartTrace(op.kind.kindName(), op.begun)
+			op.trace.SetPrefix("req.")
+		}
 		if c.sendQP == nil {
 			// WRITE/DC mode: hand the trace to the server by slot, since
 			// the request travels only as memory bytes.
@@ -501,20 +615,17 @@ func (c *Client) failOp(op *pendingOp) {
 	c.inflight--
 	c.failed++
 	c.telFailed.Inc()
+	c.aimdShrink()
 	now := c.machine.Verbs.NIC().Engine().Now()
 	op.trace.Mark("failed", now)
 	c.startReconnect()
-	if len(c.waiting) > 0 {
-		next := c.waiting[0]
-		c.waiting = c.waiting[1:]
-		c.issue(next)
-	}
+	c.pumpWaiting()
 	if op.cb != nil {
 		op.cb(Result{
 			Key:     op.key,
 			IsGet:   op.kind == opGet,
 			Status:  kv.StatusTimeout,
-			Latency: now - op.issuedAt,
+			Latency: now - op.begun,
 			Err:     ErrTimedOut,
 		})
 	}
@@ -612,8 +723,15 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	// A response damaged in flight is structurally detectable: injected
 	// corruption zeroes the packet tail and scrambles the rest, so the
 	// status byte cannot hold a valid code. Reject before matching — a
-	// corrupt rMod must not complete (or fail) the wrong op.
-	if s := comp.Data[0]; s != statusOK && s != statusNotFound {
+	// corrupt rMod must not complete (or fail) the wrong op. A busy
+	// pushback additionally carries a fixed-size retry-after hint;
+	// anything claiming busy without it is damage too.
+	switch s := comp.Data[0]; {
+	case s == statusOK || s == statusNotFound:
+	case s == statusBusy &&
+		int(binary.LittleEndian.Uint16(comp.Data[1:3])) == busyHintBytes &&
+		len(comp.Data) >= respHdr+busyHintBytes:
+	default:
 		c.corruptResponses++
 		c.telCorrupt.Inc()
 		return
@@ -636,6 +754,11 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	}
 	op := c.perProc[proc][idx]
 	c.perProc[proc] = append(c.perProc[proc][:idx], c.perProc[proc][idx+1:]...)
+	if comp.Data[0] == statusBusy {
+		hint := sim.Time(binary.LittleEndian.Uint32(comp.Data[respHdr:])) * sim.Nanosecond
+		c.handleBusy(op, hint)
+		return
+	}
 	op.done = true
 	op.attempt++ // invalidate any armed retry timer
 	c.quarantineSlot(op)
@@ -643,11 +766,12 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	c.inflight--
 	c.completed++
 	c.telCompleted.Inc()
+	c.aimdGrow()
 
 	res := Result{
 		Key:     op.key,
 		IsGet:   op.kind == opGet,
-		Latency: c.machine.Verbs.NIC().Engine().Now() - op.issuedAt,
+		Latency: c.machine.Verbs.NIC().Engine().Now() - op.begun,
 	}
 	switch op.kind {
 	case opGet:
@@ -672,12 +796,65 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 
 	// Window slot freed: issue the next queued op before the callback so
 	// closed-loop clients keep the pipe full.
-	if len(c.waiting) > 0 {
-		next := c.waiting[0]
-		c.waiting = c.waiting[1:]
-		c.issue(next)
-	}
+	c.pumpWaiting()
 	if op.cb != nil {
 		op.cb(res)
+	}
+}
+
+// handleBusy processes a StatusBusy pushback: the server shed the
+// request at poll time and attached a retry-after hint. The op leaves
+// the wire (freeing its window slot) and resubmits after the hinted
+// delay — unless its deadline would pass first, in which case it fails
+// terminally with ErrOverloaded. Busy is a congestion signal, not a
+// crash signal: the AIMD window halves but no reconnect handshake
+// starts and the retry-backoff counter resets.
+func (c *Client) handleBusy(op *pendingOp, hint sim.Time) {
+	op.attempt++ // invalidate the armed retry timer; the op re-arms on reissue
+	c.quarantineSlot(op)
+	op.retries = 0
+	c.releaseSlot(op.proc)
+	c.inflight--
+	c.busyRx++
+	c.telBusyRx.Inc()
+	c.aimdShrink()
+	now := c.machine.Verbs.NIC().Engine().Now()
+	op.trace.Mark("busy", now)
+
+	delay := hint
+	if j := c.srv.cfg.retryJitter(); j > 0 {
+		delay += sim.Time(c.rng.Float64() * j * float64(delay))
+	}
+	if op.deadline > 0 && now+delay >= op.deadline {
+		c.failBusy(op, now)
+		c.pumpWaiting()
+		return
+	}
+	eng := c.machine.Verbs.NIC().Engine()
+	eng.After(delay, func() {
+		if op.done {
+			return
+		}
+		c.submit(op)
+	})
+	c.pumpWaiting()
+}
+
+// failBusy terminates an op whose deadline passed while the server kept
+// shedding it. Unlike failOp, no reconnect handshake starts: busy
+// responses prove the server is alive, just refusing work.
+func (c *Client) failBusy(op *pendingOp, now sim.Time) {
+	op.done = true
+	c.failed++
+	c.telFailed.Inc()
+	op.trace.Mark("overloaded", now)
+	if op.cb != nil {
+		op.cb(Result{
+			Key:     op.key,
+			IsGet:   op.kind == opGet,
+			Status:  kv.StatusBusy,
+			Latency: now - op.begun,
+			Err:     ErrOverloaded,
+		})
 	}
 }

@@ -63,6 +63,27 @@ const lenDelete = 0xffff
 const (
 	statusOK       = 1
 	statusNotFound = 2
+	// statusBusy is the explicit overload pushback: the server process
+	// shed the request at poll time — before any MICA work — because
+	// its admission queue was full. The response value carries a
+	// retry-after hint (busyHintBytes of little-endian nanoseconds)
+	// derived from the queue depth and the process's service-time EWMA.
+	// The fault injector's damage model (XOR 0x5a, zeroed tail) can
+	// never turn a valid status byte into another valid one, so busy
+	// responses stay distinguishable from corruption.
+	statusBusy = 3
+)
+
+// busyHintBytes is the size of the retry-after hint riding a StatusBusy
+// response, encoded as uint32 nanoseconds.
+const busyHintBytes = 4
+
+// Retry-after hint bounds: the hint is the estimated queue drain time,
+// floored so a cold EWMA still spaces retries out, capped so a client
+// never parks an op for longer than any plausible drain.
+const (
+	minBusyHint = 1 * sim.Microsecond
+	maxBusyHint = 1 * sim.Millisecond
 )
 
 // Config parameterizes a HERD deployment.
@@ -134,6 +155,33 @@ type Config struct {
 	// crash-recovery handshake (default 20x RetryTimeout). Reconnect
 	// attempts back off and jitter like retries do.
 	ReconnectTimeout sim.Time
+
+	// AdmissionLimit bounds each server process's queue of admitted
+	// requests awaiting CPU service. A request landing while the queue
+	// is full is shed at poll time — before any MICA work, so a
+	// rejected request costs near-zero server CPU — with an explicit
+	// StatusBusy response carrying a retry-after hint derived from the
+	// queue depth and the process's service-time EWMA. 0 disables
+	// admission control (the paper's behavior: unbounded queueing,
+	// overload surfaces only as latency and eventual client timeouts).
+	AdmissionLimit int
+
+	// OpDeadline bounds an operation's total time in flight across
+	// busy retries: when a StatusBusy pushback's retry-after hint
+	// would reschedule the op past its deadline, the op fails
+	// terminally with ErrOverloaded (kv.StatusBusy) instead. 0
+	// disables deadlines — busy retries continue until admitted.
+	// Deadlines govern only the busy path; loss-retry budgets
+	// (MaxRetries) are deliberately decoupled, so pushback never
+	// counts against the crash-detection budget.
+	OpDeadline sim.Time
+
+	// AdaptiveWindow enables the client-side AIMD window: additive
+	// increase on served completions, multiplicative decrease (halve)
+	// on StatusBusy pushback or terminal timeout, floor 1, ceiling
+	// Window. Clients then self-pace under overload instead of
+	// retry-storming. Off by default (the paper's fixed W).
+	AdaptiveWindow bool
 }
 
 // Effective retry-policy accessors: zero-valued fields mean defaults.
@@ -230,15 +278,25 @@ type Server struct {
 	respBuf   [][]verbs.SendWR
 	respArmed []bool
 
+	// Admission control (Config.AdmissionLimit > 0): per-process count
+	// of admitted requests awaiting CPU service, and an EWMA of
+	// per-request service time. Together they yield the StatusBusy
+	// retry-after hint: depth x EWMA estimates the queue drain time.
+	queued  []int
+	svcEWMA []sim.Time
+
 	// Stats
 	gets, puts, getHits uint64
 	deletes             uint64
 	inlineResponses     uint64
 	nonInlineResponses  uint64
 	rejected            uint64 // malformed/corrupt requests refused
+	shed                uint64 // requests refused by admission control
 
 	// telRejected counts refused requests (nil when un-instrumented).
 	telRejected *telemetry.Counter
+	// telShed counts admission-control sheds.
+	telShed *telemetry.Counter
 
 	// slotTraces carries a request's lifecycle trace from client to
 	// server in WRITE/DC mode, where the request itself travels only as
@@ -266,7 +324,10 @@ func NewServer(m *cluster.Machine, cfg Config) (*Server, error) {
 	s.parts = make([]*mica.Cache, cfg.NS)
 	s.udQPs = make([]*verbs.QP, cfg.NS)
 	s.ucByClient = make([]*verbs.QP, cfg.MaxClients)
+	s.queued = make([]int, cfg.NS)
+	s.svcEWMA = make([]sim.Time, cfg.NS)
 	s.telRejected = m.Verbs.Telemetry().Counter("herd.requests.rejected")
+	s.telShed = m.Verbs.Telemetry().Counter("herd.shed")
 	for i := range s.parts {
 		s.parts[i] = mica.New(cfg.Mica)
 	}
@@ -403,6 +464,19 @@ func (s *Server) Deletes() uint64 { return s.deletes }
 // checks (corrupted or malformed).
 func (s *Server) Rejected() uint64 { return s.rejected }
 
+// Shed reports requests refused by admission control with a StatusBusy
+// pushback (Config.AdmissionLimit).
+func (s *Server) Shed() uint64 { return s.shed }
+
+// QueueDepth reports process proc's current admitted-but-unserved
+// request count (tests and experiments).
+func (s *Server) QueueDepth(proc int) int { return s.queued[proc] }
+
+// SetAdmissionLimit adjusts the admission queue cap at runtime (zero
+// disables shedding). Lets tests and experiments brown out a single
+// fleet member without reconfiguring the whole deployment.
+func (s *Server) SetAdmissionLimit(n int) { s.cfg.AdmissionLimit = n }
+
 // InlineStats reports how responses were sent.
 func (s *Server) InlineStats() (inline, nonInline uint64) {
 	return s.inlineResponses, s.nonInlineResponses
@@ -487,6 +561,14 @@ func (s *Server) serve(proc, client, slot int) {
 		zeroTail(raw)
 		return
 	}
+	if s.overloaded(proc) {
+		// Shed at poll time, before any MICA work: the rejected request
+		// costs the process only this check, and the client gets an
+		// explicit pushback instead of silent queueing.
+		s.shedRequest(proc, client, uint16(slot%s.cfg.Window), s.takeTrace(slot))
+		zeroTail(raw)
+		return
+	}
 	req := request{
 		proc: proc, client: client, key: key, vlen: vlen,
 		rMod: uint16(slot % s.cfg.Window), slotRaw: raw,
@@ -496,6 +578,68 @@ func (s *Server) serve(proc, client, slot int) {
 		req.value = raw[SlotSize-lenTail-vlen : SlotSize-lenTail]
 	}
 	s.execute(req)
+}
+
+// overloaded reports whether process proc's admission queue is full.
+func (s *Server) overloaded(proc int) bool {
+	return s.cfg.AdmissionLimit > 0 && s.queued[proc] >= s.cfg.AdmissionLimit
+}
+
+// retryAfterHint estimates how long process proc's queue takes to
+// drain: depth x service-time EWMA, floored (a cold EWMA must still
+// space retries out) and capped.
+func (s *Server) retryAfterHint(proc int) sim.Time {
+	ewma := s.svcEWMA[proc]
+	if ewma <= 0 {
+		ewma = minBusyHint
+	}
+	h := sim.Time(s.queued[proc]) * ewma
+	if h < minBusyHint {
+		h = minBusyHint
+	}
+	if h > maxBusyHint {
+		h = maxBusyHint
+	}
+	return h
+}
+
+// shedRequest refuses one request under overload: an immediate
+// StatusBusy SEND carrying the retry-after hint, posted without
+// touching MICA or the process's service queue.
+func (s *Server) shedRequest(proc, client int, rMod uint16, tr *telemetry.Trace) {
+	s.shed++
+	s.telShed.Inc()
+	now := s.machine.Verbs.NIC().Engine().Now()
+	tr.SetPrefix("")
+	tr.Mark("shed", now)
+	tr.SetPrefix("resp.")
+	hintNS := uint32(s.retryAfterHint(proc) / sim.Nanosecond)
+	resp := make([]byte, respHdr+busyHintBytes)
+	resp[0] = statusBusy
+	binary.LittleEndian.PutUint16(resp[1:3], busyHintBytes)
+	binary.LittleEndian.PutUint16(resp[3:5], rMod)
+	binary.LittleEndian.PutUint32(resp[respHdr:], hintNS)
+	dest := s.clientQP(client, proc)
+	if dest == nil {
+		return
+	}
+	postLossy(s.udQPs[proc].PostSend(verbs.SendWR{
+		Verb:   verbs.SEND,
+		Data:   resp,
+		Dest:   dest,
+		Inline: true,
+		Trace:  tr,
+	}))
+}
+
+// noteService folds one request's CPU service time into proc's EWMA
+// (alpha 1/8; the first sample seeds it directly).
+func (s *Server) noteService(proc int, service sim.Time) {
+	if s.svcEWMA[proc] == 0 {
+		s.svcEWMA[proc] = service
+		return
+	}
+	s.svcEWMA[proc] += (service - s.svcEWMA[proc]) / 8
 }
 
 // validLen reports whether a slot LEN field is structurally possible:
@@ -537,7 +681,12 @@ func (s *Server) execute(req request) {
 	}
 
 	epoch := s.epoch
+	s.queued[req.proc]++
+	s.noteService(req.proc, service)
 	s.machine.CPU.Core(req.proc).Submit(service, func(at sim.Time) {
+		// The admission queue drains regardless of crash state: the
+		// increment happened, so the decrement must too.
+		s.queued[req.proc]--
 		// Work queued before a crash dies with the process.
 		if s.down || s.epoch != epoch {
 			return
@@ -682,6 +831,10 @@ func (s *Server) onSendRequest(proc int, comp verbs.Completion) {
 	client := int(binary.LittleEndian.Uint16(data[n-sendReqTail : n-lenTail-2]))
 	if client >= len(s.clientUD) || !validLen(vlen) {
 		s.reject()
+		return
+	}
+	if s.overloaded(proc) {
+		s.shedRequest(proc, client, rMod, comp.Trace)
 		return
 	}
 	req := request{

@@ -313,6 +313,9 @@ func (c *Client) finishOp() {
 // Put WRITEs the request into the server's circular buffer and waits for
 // the notification WRITE.
 func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
+	if key.IsZero() {
+		return kv.ErrZeroKey
+	}
 	if c.srv.cfg.Mode == InlineMode && len(value) != c.srv.cfg.ValueSize {
 		return hopscotch.ErrValueSize
 	}
@@ -327,6 +330,9 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 // length-sentinel request the server CPU applies to the hopscotch
 // table). Result.Status reports hit (removed) or miss (absent).
 func (c *Client) Delete(key kv.Key, cb func(Result)) error {
+	if key.IsZero() {
+		return kv.ErrZeroKey
+	}
 	c.writeReq(key, nil, lenDelete, true, cb)
 	return nil
 }
@@ -357,6 +363,9 @@ func (c *Client) writeReq(key kv.Key, val []byte, vlen uint16, isDelete bool, cb
 // Get READs the key's neighborhood (and, out-of-table, the value). The
 // server CPU is never involved.
 func (c *Client) Get(key kv.Key, cb func(Result)) error {
+	if key.IsZero() {
+		return kv.ErrZeroKey
+	}
 	c.startOp(func() { c.doGet(key, cb) })
 	return nil
 }

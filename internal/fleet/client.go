@@ -35,6 +35,7 @@ type Client struct {
 	machine *cluster.Machine
 	subs    []*core.Client // indexed by shard id; grows with AddShard
 	suspect []sim.Time     // per shard id: avoid reads until this time
+	brk     []breaker      // per shard id: brownout circuit breaker
 
 	issued    uint64
 	completed uint64
@@ -44,6 +45,10 @@ type Client struct {
 	reroutes     uint64
 	replicaReads uint64
 	fanoutPuts   uint64
+	suspected    uint64
+	brkOpens     uint64
+	brkCloses    uint64
+	brkProbes    uint64
 
 	telIssued    *telemetry.Counter
 	telCompleted *telemetry.Counter
@@ -54,6 +59,36 @@ type Client struct {
 	telSuspected *telemetry.Counter
 	telMGOps     *telemetry.Counter
 	telMGKeys    *telemetry.Counter
+	telBrkOpened *telemetry.Counter
+	telBrkClosed *telemetry.Counter
+	telBrkProbes *telemetry.Counter
+	telBrkState  *telemetry.Gauge
+}
+
+// breakerState is the per-shard brownout circuit-breaker state.
+type breakerState int
+
+const (
+	// breakerClosed: the shard serves normally.
+	breakerClosed breakerState = iota
+	// breakerOpen: consecutive busy pushback tripped the breaker; reads
+	// steer to other replicas until the cooldown lapses.
+	breakerOpen
+	// breakerHalfOpen: the cooldown lapsed and one probe read is
+	// testing the shard; success closes the breaker, busy reopens it.
+	breakerHalfOpen
+)
+
+// breaker tracks one shard's brownout state. Busy pushback means the
+// shard is alive but shedding — a different condition from a suspected
+// crash (Probation), so it gets its own state machine: N consecutive
+// busy failures open the breaker, reads steer away for the cooldown,
+// then a single half-open probe decides between restore and re-open.
+type breaker struct {
+	state   breakerState
+	fails   int      // consecutive busy failures while closed
+	until   sim.Time // open until: no probe before this time
+	probing bool     // a half-open probe read is in flight
 }
 
 var _ kv.KV = (*Client)(nil)
@@ -62,7 +97,13 @@ var _ kv.KV = (*Client)(nil)
 // fleet client. Clients connected before an AddShard are attached to
 // the new shard automatically.
 func (d *Deployment) ConnectClient(m *cluster.Machine) (*Client, error) {
-	c := &Client{d: d, machine: m, subs: make([]*core.Client, len(d.shards)), suspect: make([]sim.Time, len(d.shards))}
+	c := &Client{
+		d:       d,
+		machine: m,
+		subs:    make([]*core.Client, len(d.shards)),
+		suspect: make([]sim.Time, len(d.shards)),
+		brk:     make([]breaker, len(d.shards)),
+	}
 	tel := m.Verbs.Telemetry()
 	c.telIssued = tel.Counter("fleet.ops.issued")
 	c.telCompleted = tel.Counter("fleet.ops.completed")
@@ -73,6 +114,10 @@ func (d *Deployment) ConnectClient(m *cluster.Machine) (*Client, error) {
 	c.telSuspected = tel.Counter("fleet.suspected")
 	c.telMGOps = tel.Counter("fleet.multiget.ops")
 	c.telMGKeys = tel.Counter("fleet.multiget.keys")
+	c.telBrkOpened = tel.Counter("fleet.breaker.opened")
+	c.telBrkClosed = tel.Counter("fleet.breaker.closed")
+	c.telBrkProbes = tel.Counter("fleet.breaker.probes")
+	c.telBrkState = tel.Gauge("fleet.breaker_state")
 	for _, sh := range d.shards {
 		if !sh.live {
 			continue
@@ -96,6 +141,7 @@ func (c *Client) attach(sh *shard) error {
 	for len(c.subs) <= sh.id {
 		c.subs = append(c.subs, nil)
 		c.suspect = append(c.suspect, 0)
+		c.brk = append(c.brk, breaker{})
 	}
 	c.subs[sh.id] = sub
 	return nil
@@ -128,27 +174,121 @@ func (c *Client) ReplicaReads() uint64 { return c.replicaReads }
 // replicas).
 func (c *Client) FanoutPuts() uint64 { return c.fanoutPuts }
 
+// Suspected counts probation starts: terminal (crash-class) failures
+// against a shard. Busy pushback never increments it.
+func (c *Client) Suspected() uint64 { return c.suspected }
+
+// BreakerOpens, BreakerCloses and BreakerProbes count the brownout
+// circuit breaker's transitions: trips to open (including half-open
+// probes that failed), restores to closed, and half-open probe reads.
+func (c *Client) BreakerOpens() uint64  { return c.brkOpens }
+func (c *Client) BreakerCloses() uint64 { return c.brkCloses }
+func (c *Client) BreakerProbes() uint64 { return c.brkProbes }
+
+// BreakerOpen reports whether shard id's breaker is currently steering
+// reads away (open or mid-probe).
+func (c *Client) BreakerOpen(id int) bool {
+	if id < 0 || id >= len(c.brk) {
+		return false
+	}
+	return c.brk[id].state != breakerClosed
+}
+
 // markSuspect starts a read probation for shard id after a terminal
 // failure against it.
 func (c *Client) markSuspect(id int) {
 	c.suspect[id] = c.now() + c.d.cfg.Probation
+	c.suspected++
 	c.telSuspected.Inc()
 }
 
-// readOrder returns key's replica set reordered for a read: replicas
-// not under probation first (ring order preserved within each group),
-// so a recently failed primary is tried last instead of eating a full
-// retry budget per read.
+// noteBusy records a StatusBusy (overload pushback) failure against
+// shard id: the brownout path. Consecutive busy failures trip the
+// breaker open; a failed half-open probe re-opens it. Probation is
+// never touched — the shard is alive.
+func (c *Client) noteBusy(id int) {
+	b := &c.brk[id]
+	b.probing = false
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.until = c.now() + c.d.cfg.BreakerCooldown
+		c.brkOpens++
+		c.telBrkOpened.Inc()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= c.d.cfg.BreakerThreshold {
+			b.state = breakerOpen
+			b.until = c.now() + c.d.cfg.BreakerCooldown
+			b.fails = 0
+			c.brkOpens++
+			c.telBrkOpened.Inc()
+			c.telBrkState.Add(1)
+		}
+	case breakerOpen:
+		b.until = c.now() + c.d.cfg.BreakerCooldown
+	}
+}
+
+// noteServed records a successful read or write against shard id: the
+// busy streak resets, and a non-closed breaker (including a half-open
+// probe that just succeeded) fully restores.
+func (c *Client) noteServed(id int) {
+	b := &c.brk[id]
+	b.fails = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		c.brkCloses++
+		c.telBrkClosed.Inc()
+		c.telBrkState.Add(-1)
+	}
+}
+
+// noteReadIssue runs before a read is issued to shard id: an open
+// breaker whose cooldown lapsed transitions to half-open, and this
+// read becomes its probe.
+func (c *Client) noteReadIssue(id int) {
+	b := &c.brk[id]
+	if b.state == breakerOpen && b.until <= c.now() && !b.probing {
+		b.state = breakerHalfOpen
+		b.probing = true
+		c.brkProbes++
+		c.telBrkProbes.Inc()
+	}
+}
+
+// readPreferred reports whether shard id should be in the front tier
+// of a read order: not under probation, and its breaker either closed
+// or due for a half-open probe.
+func (c *Client) readPreferred(id int, now sim.Time) bool {
+	if c.suspect[id] > now {
+		return false
+	}
+	switch b := &c.brk[id]; b.state {
+	case breakerOpen:
+		return b.until <= now && !b.probing
+	case breakerHalfOpen:
+		return !b.probing
+	}
+	return true
+}
+
+// readOrder returns key's replica set reordered for a read: healthy
+// replicas first (ring order preserved within each group), then
+// probationed or breaker-open ones — so a recently failed or
+// browned-out primary is tried last instead of eating a full retry
+// budget (or another busy round trip) per read.
 func (c *Client) readOrder(reps []int) []int {
 	now := c.now()
 	order := make([]int, 0, len(reps))
 	for _, id := range reps {
-		if c.suspect[id] <= now {
+		if c.readPreferred(id, now) {
 			order = append(order, id)
 		}
 	}
 	for _, id := range reps {
-		if c.suspect[id] > now {
+		if !c.readPreferred(id, now) {
 			order = append(order, id)
 		}
 	}
@@ -196,8 +336,10 @@ func (c *Client) Get(key kv.Key, cb func(kv.Result)) error {
 // on a terminal error. Each attempt is a fresh sub-operation with the
 // full retry budget.
 func (c *Client) tryGet(key kv.Key, primary int, order []int, i int, begun sim.Time, cb func(kv.Result)) {
+	c.noteReadIssue(order[i])
 	err := c.subs[order[i]].Get(key, func(r kv.Result) {
 		if r.Err == nil {
+			c.noteServed(order[i])
 			if order[i] != primary {
 				c.replicaReads++
 				c.telReplica.Inc()
@@ -205,7 +347,16 @@ func (c *Client) tryGet(key kv.Key, primary int, order []int, i int, begun sim.T
 			c.finish(cb, r, begun)
 			return
 		}
-		c.markSuspect(order[i])
+		// Busy is a brownout: the shard is alive but shedding, so it
+		// feeds the circuit breaker and must NOT start a probation —
+		// failover churn on overload would amplify the overload.
+		// Everything else is a crash-class failure and suspects the
+		// shard as before.
+		if r.Status == kv.StatusBusy {
+			c.noteBusy(order[i])
+		} else {
+			c.markSuspect(order[i])
+		}
 		if i+1 < len(order) {
 			c.reroutes++
 			c.telReroutes.Inc()
@@ -256,12 +407,19 @@ func (c *Client) fanout(key kv.Key, value []byte, isDelete bool, cb func(kv.Resu
 	resolve := func(id int, r kv.Result) {
 		outstanding--
 		if r.Err == nil {
+			c.noteServed(id)
 			if served == nil {
 				cp := r
 				served = &cp
 			}
 		} else {
-			c.markSuspect(id)
+			// Busy = brownout, not a crash: feed the breaker, skip
+			// probation (mirrors tryGet).
+			if r.Status == kv.StatusBusy {
+				c.noteBusy(id)
+			} else {
+				c.markSuspect(id)
+			}
 			lastErr = r
 		}
 		if outstanding == 0 {
@@ -311,16 +469,29 @@ func (c *Client) MultiGet(keys []kv.Key, cb func([]kv.Result)) error {
 	}
 	c.telMGOps.Inc()
 	c.telMGKeys.Add(uint64(len(keys)))
-	// Stable bucket sort of key indices by primary shard.
-	byShard := make(map[int][]int)
+	// Duplicate keys issue one read; the shared result lands in every
+	// position that asked for it. pos keys first-appearance order via
+	// uniq, so issue order is stable regardless of duplication.
+	pos := make(map[kv.Key][]int)
+	uniq := make([]kv.Key, 0, len(keys))
 	for i, k := range keys {
-		p := c.d.ring.Primary(k)
-		byShard[p] = append(byShard[p], i)
+		if _, dup := pos[k]; !dup {
+			uniq = append(uniq, k)
+		}
+		pos[k] = append(pos[k], i)
 	}
-	remaining := len(keys)
-	issue := func(idx int) error {
-		return c.Get(keys[idx], func(r kv.Result) {
-			results[idx] = r
+	// Stable bucket sort of unique keys by primary shard.
+	byShard := make(map[int][]kv.Key)
+	for _, k := range uniq {
+		p := c.d.ring.Primary(k)
+		byShard[p] = append(byShard[p], k)
+	}
+	remaining := len(uniq)
+	issue := func(k kv.Key) error {
+		return c.Get(k, func(r kv.Result) {
+			for _, idx := range pos[k] {
+				results[idx] = r
+			}
 			remaining--
 			if remaining == 0 && cb != nil {
 				cb(results)
@@ -330,8 +501,8 @@ func (c *Client) MultiGet(keys []kv.Key, cb func([]kv.Result)) error {
 	// Iterate shards in ring order for determinism (map order is not
 	// deterministic).
 	for _, sid := range c.d.ring.Shards() {
-		for _, idx := range byShard[sid] {
-			if err := issue(idx); err != nil {
+		for _, k := range byShard[sid] {
+			if err := issue(k); err != nil {
 				return err
 			}
 		}

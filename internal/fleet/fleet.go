@@ -44,6 +44,16 @@ type Config struct {
 	// still fan out to suspected shards so their caches stay warm for
 	// when they return.
 	Probation sim.Time
+	// BreakerThreshold is how many consecutive StatusBusy (overload
+	// pushback) failures against one shard trip its circuit breaker
+	// open (default 3). Busy is a brownout signal — the shard is alive
+	// but refusing work — so the breaker is separate from Probation,
+	// which marks suspected crashes.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker steers reads away
+	// from a shard before allowing a half-open probe read (default
+	// 200us).
+	BreakerCooldown sim.Time
 }
 
 // DefaultConfig returns the fleet defaults on top of core's HERD
@@ -82,6 +92,20 @@ func (c *Config) setDefaults() {
 	}
 	if c.Probation <= 0 {
 		c.Probation = 200 * sim.Microsecond
+	}
+	if c.BreakerThreshold < 1 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 200 * sim.Microsecond
+	}
+	// Brownout handling needs shed sub-operations to resolve: without a
+	// deadline a busy-retried op spins on server hints forever and the
+	// fleet never gets a StatusBusy to steer on. Only ops the server
+	// actually sheds are affected, so this is inert unless a member
+	// server enables admission control.
+	if c.Herd.OpDeadline <= 0 {
+		c.Herd.OpDeadline = 4 * c.Herd.RetryTimeout
 	}
 }
 

@@ -3,11 +3,19 @@
 // generators.
 package kv
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"errors"
+)
 
 // KeySize is the keyhash size: HERD, Pilaf-em and FaRM-em all identify
 // items by a 16-byte keyhash (SK = 16 throughout the paper's evaluation).
 const KeySize = 16
+
+// ErrZeroKey rejects the reserved all-zero keyhash: every backend's
+// table uses it as the empty-slot marker (and HERD's request-polling
+// protocol reserves it on the wire), so clients refuse it up front.
+var ErrZeroKey = errors.New("kv: zero keyhash is reserved")
 
 // Key is a 16-byte keyhash.
 type Key [KeySize]byte

@@ -1,0 +1,106 @@
+package kvtest
+
+import (
+	"testing"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/core"
+	"herdkv/internal/farm"
+	"herdkv/internal/fleet"
+	"herdkv/internal/mica"
+	"herdkv/internal/pilaf"
+	"herdkv/internal/sim"
+)
+
+func herdConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.NS = 4
+	cfg.MaxClients = 8
+	cfg.Window = 4
+	cfg.Mica = mica.Config{IndexBuckets: 1 << 10, BucketSlots: 8, LogBytes: 1 << 20}
+	return cfg
+}
+
+func TestHERDConformance(t *testing.T) {
+	Run(t, func(t *testing.T) Harness {
+		cl := cluster.New(cluster.Apt(), 2, 1)
+		srv, err := core.NewServer(cl.Machine(0), herdConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := srv.ConnectClient(cl.Machine(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Harness{KV: c, Run: cl.Eng.Run}
+	})
+}
+
+func TestShardedConformance(t *testing.T) {
+	Run(t, func(t *testing.T) Harness {
+		cl := cluster.New(cluster.Apt(), 3, 1)
+		d, err := core.NewShardedDeployment(
+			[]*cluster.Machine{cl.Machine(0), cl.Machine(1)}, herdConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := d.ConnectClient(cl.Machine(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Harness{KV: c, Run: cl.Eng.Run}
+	})
+}
+
+func TestFleetConformance(t *testing.T) {
+	Run(t, func(t *testing.T) Harness {
+		cl := cluster.New(cluster.Apt(), 3, 1)
+		cfg := fleet.DefaultConfig()
+		cfg.Herd = herdConfig()
+		cfg.Herd.RetryTimeout = 12 * sim.Microsecond
+		d, err := fleet.NewDeployment(
+			[]*cluster.Machine{cl.Machine(0), cl.Machine(1)}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := d.ConnectClient(cl.Machine(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Harness{KV: c, Run: cl.Eng.Run}
+	})
+}
+
+func TestPilafConformance(t *testing.T) {
+	Run(t, func(t *testing.T) Harness {
+		cl := cluster.New(cluster.Apt(), 2, 1)
+		srv, err := pilaf.NewServer(cl.Machine(0),
+			pilaf.Config{Buckets: 1 << 12, ExtentBytes: 1 << 22, Cores: 4, Window: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := srv.ConnectClient(cl.Machine(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Harness{KV: c, Run: cl.Eng.Run}
+	})
+}
+
+func TestFaRMConformance(t *testing.T) {
+	Run(t, func(t *testing.T) Harness {
+		cl := cluster.New(cluster.Apt(), 2, 1)
+		srv, err := farm.NewServer(cl.Machine(0), farm.Config{
+			Mode: farm.InlineMode, Buckets: 1 << 12, ValueSize: 32,
+			ExtentBytes: 1 << 22, H: 6, Cores: 4, Window: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := srv.ConnectClient(cl.Machine(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Harness{KV: c, Run: cl.Eng.Run, ValueSize: 32}
+	})
+}

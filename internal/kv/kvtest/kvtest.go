@@ -1,0 +1,218 @@
+// Package kvtest is a conformance suite for kv.KV implementations.
+// Every backend — HERD, the sharded deployment, the replicated fleet,
+// Pilaf-em and FaRM-em — completes operations with the same kv.Result
+// vocabulary and maintains the same Issued/Completed/Failed counter
+// contract; this suite pins that contract in one place, so a new
+// backend (or a refactor of an old one) is checked against the same
+// semantics as every other.
+package kvtest
+
+import (
+	"bytes"
+	"testing"
+
+	"herdkv/internal/kv"
+)
+
+// Harness wraps one backend instance for a conformance run.
+type Harness struct {
+	// KV is the client under test, attached to a freshly built backend.
+	KV kv.KV
+	// Run drives the simulation engine until all outstanding events
+	// drain (typically cluster.Eng.Run).
+	Run func()
+	// ValueSize, when nonzero, is the only legal PUT value length
+	// (FaRM-em's inline mode stores fixed-size values). Zero means any
+	// small value is accepted.
+	ValueSize int
+}
+
+// value builds a legal PUT value with recognizable content.
+func (h Harness) value(fill byte) []byte {
+	n := h.ValueSize
+	if n == 0 {
+		n = 24
+	}
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = fill + byte(i)
+	}
+	return v
+}
+
+// Factory builds a fresh backend per subtest, so state cannot leak
+// between conformance checks.
+type Factory func(t *testing.T) Harness
+
+// Run executes the conformance suite against the backend built by mk.
+func Run(t *testing.T, mk Factory) {
+	t.Run("PutGetRoundTrip", func(t *testing.T) { putGetRoundTrip(t, mk(t)) })
+	t.Run("GetMiss", func(t *testing.T) { getMiss(t, mk(t)) })
+	t.Run("DeleteSemantics", func(t *testing.T) { deleteSemantics(t, mk(t)) })
+	t.Run("ZeroKeyRejected", func(t *testing.T) { zeroKeyRejected(t, mk(t)) })
+	t.Run("CallbackExactlyOnce", func(t *testing.T) { callbackExactlyOnce(t, mk(t)) })
+	t.Run("CounterInvariants", func(t *testing.T) { counterInvariants(t, mk(t)) })
+}
+
+func putGetRoundTrip(t *testing.T, h Harness) {
+	key := kv.FromUint64(7)
+	val := h.value('a')
+	var putRes, getRes *kv.Result
+	if err := h.KV.Put(key, val, func(r kv.Result) {
+		putRes = &r
+		if err := h.KV.Get(key, func(r kv.Result) { getRes = &r }); err != nil {
+			t.Errorf("Get: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	h.Run()
+
+	if putRes == nil || getRes == nil {
+		t.Fatal("callbacks did not run")
+	}
+	if putRes.Status != kv.StatusHit || putRes.Err != nil {
+		t.Fatalf("PUT result %+v, want hit", *putRes)
+	}
+	if getRes.Status != kv.StatusHit || !bytes.Equal(getRes.Value, val) {
+		t.Fatalf("GET result %+v, want hit with stored value", *getRes)
+	}
+	if !getRes.IsGet {
+		t.Fatal("GET result not marked IsGet")
+	}
+	if getRes.Latency <= 0 {
+		t.Fatalf("GET latency %v, want positive", getRes.Latency)
+	}
+}
+
+func getMiss(t *testing.T, h Harness) {
+	var res *kv.Result
+	if err := h.KV.Get(kv.FromUint64(404), func(r kv.Result) { res = &r }); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	h.Run()
+	if res == nil {
+		t.Fatal("callback did not run")
+	}
+	if res.Status != kv.StatusMiss || res.Err != nil {
+		t.Fatalf("miss result %+v, want StatusMiss with nil Err", *res)
+	}
+	if res.Value != nil {
+		t.Fatalf("miss carried a value %q", res.Value)
+	}
+}
+
+func deleteSemantics(t *testing.T, h Harness) {
+	key := kv.FromUint64(9)
+	var del1, get1, del2 *kv.Result
+	err := h.KV.Put(key, h.value('d'), func(kv.Result) {
+		h.KV.Delete(key, func(r kv.Result) {
+			del1 = &r
+			h.KV.Get(key, func(r kv.Result) {
+				get1 = &r
+				h.KV.Delete(key, func(r kv.Result) { del2 = &r })
+			})
+		})
+	})
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	h.Run()
+
+	if del1 == nil || get1 == nil || del2 == nil {
+		t.Fatal("callbacks did not all run")
+	}
+	if del1.Status != kv.StatusHit {
+		t.Fatalf("DELETE of present key = %v, want hit", del1.Status)
+	}
+	if get1.Status != kv.StatusMiss {
+		t.Fatalf("GET after DELETE = %v, want miss", get1.Status)
+	}
+	if del2.Status != kv.StatusMiss {
+		t.Fatalf("DELETE of absent key = %v, want miss", del2.Status)
+	}
+}
+
+func zeroKeyRejected(t *testing.T, h Harness) {
+	var zero kv.Key
+	ran := false
+	cb := func(kv.Result) { ran = true }
+	if err := h.KV.Get(zero, cb); err == nil {
+		t.Error("Get(zero key) accepted")
+	}
+	if err := h.KV.Put(zero, h.value('z'), cb); err == nil {
+		t.Error("Put(zero key) accepted")
+	}
+	if err := h.KV.Delete(zero, cb); err == nil {
+		t.Error("Delete(zero key) accepted")
+	}
+	h.Run()
+	if ran {
+		t.Fatal("a rejected operation still ran its callback")
+	}
+	if got := h.KV.Issued(); got != 0 {
+		t.Fatalf("rejected operations counted as issued (%d)", got)
+	}
+}
+
+func callbackExactlyOnce(t *testing.T, h Harness) {
+	const n = 12
+	counts := make([]int, 3*n)
+	for i := 0; i < n; i++ {
+		i := i
+		key := kv.FromUint64(uint64(i) + 1)
+		if err := h.KV.Put(key, h.value(byte(i)), func(kv.Result) { counts[3*i]++ }); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		if err := h.KV.Get(key, func(kv.Result) { counts[3*i+1]++ }); err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if err := h.KV.Delete(key, func(kv.Result) { counts[3*i+2]++ }); err != nil {
+			t.Fatalf("Delete %d: %v", i, err)
+		}
+	}
+	h.Run()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("callback %d ran %d times, want exactly once", i, c)
+		}
+	}
+}
+
+func counterInvariants(t *testing.T, h Harness) {
+	const n = 16
+	resolved := 0
+	for i := 0; i < n; i++ {
+		key := kv.FromUint64(uint64(i) + 1)
+		var err error
+		switch i % 3 {
+		case 0:
+			err = h.KV.Put(key, h.value(byte(i)), func(kv.Result) { resolved++ })
+		case 1:
+			err = h.KV.Get(key, func(kv.Result) { resolved++ })
+		default:
+			err = h.KV.Delete(key, func(kv.Result) { resolved++ })
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	h.Run()
+
+	if resolved != n {
+		t.Fatalf("%d of %d callbacks ran", resolved, n)
+	}
+	if got := h.KV.Inflight(); got != 0 {
+		t.Fatalf("Inflight = %d after drain, want 0", got)
+	}
+	issued, completed, failed := h.KV.Issued(), h.KV.Completed(), h.KV.Failed()
+	if completed+failed != uint64(n) {
+		t.Fatalf("Completed(%d)+Failed(%d) != %d resolved ops", completed, failed, n)
+	}
+	if issued < uint64(n) {
+		t.Fatalf("Issued = %d, want >= %d", issued, n)
+	}
+	if failed != 0 {
+		t.Fatalf("Failed = %d on a clean network, want 0", failed)
+	}
+}

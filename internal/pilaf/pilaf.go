@@ -276,6 +276,9 @@ func (c *Client) now() sim.Time { return c.machine.Verbs.NIC().Engine().Now() }
 // client window bounds outstanding ops so PUTs never outrun the server's
 // pre-posted RECVs.
 func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
+	if key.IsZero() {
+		return kv.ErrZeroKey
+	}
 	if len(value) > cuckoo.MaxValueSize {
 		return cuckoo.ErrValueSize
 	}
@@ -287,6 +290,9 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 // message the server CPU applies to the cuckoo table). Result.Status
 // reports hit (removed) or miss (absent).
 func (c *Client) Delete(key kv.Key, cb func(Result)) error {
+	if key.IsZero() {
+		return kv.ErrZeroKey
+	}
 	c.sendPutChannel(key, nil, lenDelete, true, cb)
 	return nil
 }
@@ -317,6 +323,9 @@ func (c *Client) sendPutChannel(key kv.Key, val []byte, vlen uint16, isDelete bo
 // fragment matches (or K probes fail), then an extent READ verified
 // against the bucket's checksum. The server CPU does no work.
 func (c *Client) Get(key kv.Key, cb func(Result)) error {
+	if key.IsZero() {
+		return kv.ErrZeroKey
+	}
 	c.startOp(func() { c.doGet(key, cb) })
 	return nil
 }
