@@ -22,10 +22,13 @@ race:
 # Scale-out comparison: single server vs 4-shard sharded vs 4-shard R=2
 # fleet. Prints the table and writes BENCH_fleet.json. The overload
 # sweep (goodput + p99 vs offered load, with and without the overload
-# controller) rides along and writes BENCH_overload.json.
+# controller) rides along and writes BENCH_overload.json, and the
+# client-scaling sweep (the Figure 12 cliff with and without the
+# endpoint multiplexing tier) writes BENCH_clients.json.
 bench:
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -benchjson BENCH_fleet.json fleet-bench
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -overloadjson BENCH_overload.json overload
+	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -clientsjson BENCH_clients.json clients-sweep
 
 microbench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

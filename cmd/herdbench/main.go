@@ -16,7 +16,10 @@
 // "fleet-chaos" runs the fleet through a shard crash; see
 // docs/SCALEOUT.md. "overload" sweeps offered load past saturation with
 // and without the overload controller (-overloadjson writes the sweep
-// as JSON); see docs/ROBUSTNESS.md.
+// as JSON); see docs/ROBUSTNESS.md. "clients-sweep" sweeps the client
+// count from 100 to 10k with and without the endpoint multiplexing
+// tier (-clientsjson writes the sweep as JSON); see
+// docs/SCALABILITY.md.
 //
 // -metrics dumps the cluster-wide metric registry (per-verb posted and
 // completion counters, PCIe transaction counts, NIC cache hit rates,
@@ -53,6 +56,7 @@ func main() {
 	faultsFile := flag.String("faults", "", "chaos script for the chaos target (overrides the packaged scenario)")
 	benchJSON := flag.String("benchjson", "", "with the fleet-bench target: also write the comparison as JSON to this file")
 	overloadJSON := flag.String("overloadjson", "", "with the overload target: also write the sweep as JSON to this file")
+	clientsJSON := flag.String("clientsjson", "", "with the clients-sweep target: also write the sweep as JSON to this file")
 	flag.Parse()
 
 	experiments.Warmup = sim.Time(*warmupUS) * sim.Microsecond
@@ -130,6 +134,17 @@ func main() {
 			return tbl
 		},
 
+		// Connection scalability: the Figure 12 cliff at 100..10k clients
+		// and the endpoint multiplexing tier that removes it
+		// (docs/SCALABILITY.md).
+		"clients-sweep": func() *experiments.Table {
+			tbl, res := experiments.Clients(spec)
+			if *clientsJSON != "" {
+				writeFile(*clientsJSON, res.WriteJSON)
+			}
+			return tbl
+		},
+
 		// Robustness: HERD under a scripted fault schedule.
 		"chaos": func() *experiments.Table {
 			if *faultsFile == "" {
@@ -154,7 +169,7 @@ func main() {
 		"ablation-arch", "ablation-inline", "ablation-window", "ablation-prefetch",
 		"ablation-doorbell",
 		"anatomy", "cpuuse", "symmetric", "classical", "chaos",
-		"fleet-bench", "fleet-chaos", "overload",
+		"fleet-bench", "fleet-chaos", "overload", "clients-sweep",
 	}
 
 	if *list {

@@ -32,6 +32,7 @@ import (
 	"herdkv/internal/fleet"
 	"herdkv/internal/kv"
 	"herdkv/internal/mica"
+	"herdkv/internal/mux"
 	"herdkv/internal/pilaf"
 	"herdkv/internal/sim"
 	"herdkv/internal/telemetry"
@@ -173,6 +174,33 @@ func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
 // NewFleet builds a fleet with one HERD server per machine.
 func NewFleet(machines []*Machine, cfg FleetConfig) (*FleetDeployment, error) {
 	return fleet.NewDeployment(machines, cfg)
+}
+
+// Endpoint multiplexing — many logical clients over a small shared QP
+// pool per host (docs/SCALABILITY.md).
+
+// MuxEndpoint is one host's multiplexer: logical client channels ride
+// a fixed pool of connected HERD clients, so server-side QP state
+// scales with hosts, not with application clients.
+type MuxEndpoint = mux.Endpoint
+
+// MuxChannel is one logical client on an endpoint. It implements KV,
+// so code written against a direct HERD client runs unchanged.
+type MuxChannel = mux.Channel
+
+// MuxConfig parameterizes an endpoint (pool size, per-channel window,
+// channel limit).
+type MuxConfig = mux.Config
+
+// DefaultMuxConfig returns the endpoint defaults: a 2-QP pool and a
+// per-channel window of 4.
+func DefaultMuxConfig() MuxConfig { return mux.DefaultConfig() }
+
+// ConnectMux builds an endpoint on machine m backed by a fresh pool of
+// cfg.QPs HERD clients connected to srv; open channels on it with
+// OpenChannel.
+func ConnectMux(srv *Server, m *Machine, cfg MuxConfig) (*MuxEndpoint, error) {
+	return mux.Connect(srv, m, cfg)
 }
 
 // FarmSymmetric is the symmetric FaRM deployment of Section 2.3: every

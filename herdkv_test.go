@@ -34,6 +34,37 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+func TestFacadeMux(t *testing.T) {
+	cl := herdkv.NewCluster(herdkv.Apt(), 2, 1)
+	cfg := herdkv.DefaultConfig()
+	cfg.NS = 2
+	cfg.MaxClients = 2
+	srv, err := herdkv.NewServer(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := herdkv.ConnectMux(srv, cl.Machine(1), herdkv.DefaultMuxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three logical clients over the server's two connected QP slots.
+	chans := make([]*herdkv.MuxChannel, 3)
+	for i := range chans {
+		if chans[i], err = ep.OpenChannel(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := herdkv.KeyFromUint64(2)
+	var got herdkv.Result
+	chans[0].Put(key, []byte("muxed"), func(herdkv.Result) {
+		chans[2].Get(key, func(r herdkv.Result) { got = r })
+	})
+	cl.Eng.Run()
+	if got.Status != herdkv.StatusHit || string(got.Value) != "muxed" {
+		t.Fatalf("round trip through mux facade: %+v", got)
+	}
+}
+
 func TestFacadeBaselines(t *testing.T) {
 	cl := herdkv.NewCluster(herdkv.Susitna(), 3, 2)
 	key := herdkv.KeyFromUint64(7)

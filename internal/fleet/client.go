@@ -4,7 +4,6 @@ import (
 	"errors"
 
 	"herdkv/internal/cluster"
-	"herdkv/internal/core"
 	"herdkv/internal/kv"
 	"herdkv/internal/mica"
 	"herdkv/internal/sim"
@@ -33,9 +32,9 @@ var ErrValueTooLarge = errors.New("fleet: value exceeds maximum size")
 type Client struct {
 	d       *Deployment
 	machine *cluster.Machine
-	subs    []*core.Client // indexed by shard id; grows with AddShard
-	suspect []sim.Time     // per shard id: avoid reads until this time
-	brk     []breaker      // per shard id: brownout circuit breaker
+	subs    []kv.KV    // indexed by shard id; grows with AddShard
+	suspect []sim.Time // per shard id: avoid reads until this time
+	brk     []breaker  // per shard id: brownout circuit breaker
 
 	issued    uint64
 	completed uint64
@@ -100,7 +99,7 @@ func (d *Deployment) ConnectClient(m *cluster.Machine) (*Client, error) {
 	c := &Client{
 		d:       d,
 		machine: m,
-		subs:    make([]*core.Client, len(d.shards)),
+		subs:    make([]kv.KV, len(d.shards)),
 		suspect: make([]sim.Time, len(d.shards)),
 		brk:     make([]breaker, len(d.shards)),
 	}
@@ -122,7 +121,7 @@ func (d *Deployment) ConnectClient(m *cluster.Machine) (*Client, error) {
 		if !sh.live {
 			continue
 		}
-		sub, err := sh.srv.ConnectClient(m)
+		sub, err := d.dial(m, sh)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +133,7 @@ func (d *Deployment) ConnectClient(m *cluster.Machine) (*Client, error) {
 
 // attach connects this client to a newly added shard.
 func (c *Client) attach(sh *shard) error {
-	sub, err := sh.srv.ConnectClient(c.machine)
+	sub, err := c.d.dial(c.machine, sh)
 	if err != nil {
 		return err
 	}

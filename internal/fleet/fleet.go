@@ -9,6 +9,7 @@ import (
 	"herdkv/internal/fault"
 	"herdkv/internal/kv"
 	"herdkv/internal/mica"
+	"herdkv/internal/mux"
 	"herdkv/internal/sim"
 	"herdkv/internal/telemetry"
 )
@@ -54,6 +55,14 @@ type Config struct {
 	// from a shard before allowing a half-open probe read (default
 	// 200us).
 	BreakerCooldown sim.Time
+	// Mux, when non-nil, routes each fleet client's per-shard
+	// sub-clients through a shared endpoint (internal/mux) instead of
+	// dialing one connected QP set per client per shard. All fleet
+	// clients on one machine multiplex over one Mux.QPs-wide pool per
+	// shard, so a member server's connected-QP count scales with client
+	// machines, not with application clients — the connection-
+	// scalability story of docs/SCALABILITY.md applied fleet-wide.
+	Mux *mux.Config
 }
 
 // DefaultConfig returns the fleet defaults on top of core's HERD
@@ -147,6 +156,11 @@ type Deployment struct {
 	clients []*Client
 	mig     *migration
 
+	// endpoints caches the shared mux endpoint per (client machine,
+	// shard) when Config.Mux is set; every fleet client on that machine
+	// opens channels on the same pool.
+	endpoints map[endpointKey]*mux.Endpoint
+
 	tel        *telemetry.Sink
 	migKeys    *telemetry.Counter
 	migRounds  *telemetry.Counter
@@ -181,6 +195,49 @@ func NewDeployment(machines []*cluster.Machine, cfg Config) (*Deployment, error)
 		d.ring = d.ring.WithShard(id)
 	}
 	return d, nil
+}
+
+// endpointKey identifies one machine's shared endpoint to one shard.
+type endpointKey struct {
+	machine *cluster.Machine
+	shard   int
+}
+
+// dial returns a sub-client transport from machine m to shard sh:
+// a dedicated connected HERD client by default, or a channel on the
+// machine's shared mux endpoint when Config.Mux is set.
+func (d *Deployment) dial(m *cluster.Machine, sh *shard) (kv.KV, error) {
+	if d.cfg.Mux == nil {
+		sub, err := sh.srv.ConnectClient(m)
+		if err != nil {
+			return nil, err
+		}
+		return sub, nil
+	}
+	key := endpointKey{machine: m, shard: sh.id}
+	ep := d.endpoints[key]
+	if ep == nil {
+		var err error
+		ep, err = mux.Connect(sh.srv, m, *d.cfg.Mux)
+		if err != nil {
+			return nil, err
+		}
+		if d.endpoints == nil {
+			d.endpoints = make(map[endpointKey]*mux.Endpoint)
+		}
+		d.endpoints[key] = ep
+	}
+	ch, err := ep.OpenChannel()
+	if err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Endpoint returns machine m's shared mux endpoint to shard id, or nil
+// when muxing is off (or no client on m has dialed that shard yet).
+func (d *Deployment) Endpoint(m *cluster.Machine, id int) *mux.Endpoint {
+	return d.endpoints[endpointKey{machine: m, shard: id}]
 }
 
 // Ring returns the current routing ring (immutable snapshot).

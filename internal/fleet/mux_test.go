@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/kv"
+	"herdkv/internal/mux"
+)
+
+// TestFleetOverMux runs fleet clients over shared mux endpoints: three
+// application clients on one machine multiplex each shard over a 2-QP
+// pool, so they fit inside a member server sized for only two connected
+// clients — impossible with one QP set per client — and still serve
+// reads and replicated writes correctly.
+func TestFleetOverMux(t *testing.T) {
+	cl := cluster.New(cluster.Apt(), 4, 1)
+	cfg := testConfig()
+	// Each member server has room for exactly the pool, nothing more.
+	cfg.Herd.MaxClients = 2
+	cfg.Mux = &mux.Config{QPs: 2}
+	d, err := NewDeployment([]*cluster.Machine{cl.Machine(0), cl.Machine(1)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appHost := cl.Machine(2)
+	clients := make([]*Client, 3)
+	for i := range clients {
+		if clients[i], err = d.ConnectClient(appHost); err != nil {
+			t.Fatalf("client %d: %v (mux must share the pool, not add QPs)", i, err)
+		}
+	}
+
+	for id := 0; id < 2; id++ {
+		ep := d.Endpoint(appHost, id)
+		if ep == nil {
+			t.Fatalf("no shared endpoint to shard %d", id)
+		}
+		if ep.PoolSize() != 2 || ep.Channels() != 3 {
+			t.Fatalf("shard %d endpoint: pool=%d channels=%d, want 2/3",
+				id, ep.PoolSize(), ep.Channels())
+		}
+	}
+
+	// Replicated writes and reads work through the channels.
+	key := kv.FromUint64(9)
+	val := []byte("muxed fleet value")
+	var got kv.Result
+	clients[0].Put(key, val, func(kv.Result) {
+		clients[2].Get(key, func(r kv.Result) { got = r })
+	})
+	cl.Eng.Run()
+	if got.Status != kv.StatusHit || !bytes.Equal(got.Value, val) {
+		t.Fatalf("GET over mux = %+v", got)
+	}
+
+	// AddShard attaches every client to the new shard via one new shared
+	// endpoint (3 channels over a fresh 2-QP pool).
+	added := false
+	id, err := d.AddShard(cl.Machine(3), func() { added = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Eng.Run()
+	if !added {
+		t.Fatal("migration never completed")
+	}
+	ep := d.Endpoint(appHost, id)
+	if ep == nil || ep.Channels() != 3 {
+		t.Fatalf("new shard endpoint missing or wrong: %+v", ep)
+	}
+	var after kv.Result
+	clients[1].Get(key, func(r kv.Result) { after = r })
+	cl.Eng.Run()
+	if after.Status != kv.StatusHit || !bytes.Equal(after.Value, val) {
+		t.Fatalf("GET after AddShard = %+v", after)
+	}
+	for _, c := range clients {
+		if c.Inflight() != 0 || c.Failed() != 0 {
+			t.Fatalf("client accounting: inflight=%d failed=%d", c.Inflight(), c.Failed())
+		}
+	}
+}
+
+// TestFleetMuxOffByDefault pins that deployments without Config.Mux
+// keep dedicated per-client sub-clients (no endpoints appear).
+func TestFleetMuxOffByDefault(t *testing.T) {
+	cl, d, _ := newFleet(t, 2, 2, 1)
+	_ = cl
+	for id := 0; id < 2; id++ {
+		if ep := d.Endpoint(cl.Machine(2), id); ep != nil {
+			t.Fatalf("unexpected endpoint to shard %d without Config.Mux", id)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package mux
+
+import (
+	"fmt"
+
+	"herdkv/internal/kv"
+	"herdkv/internal/mica"
+	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
+)
+
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opPut
+	opDelete
+)
+
+// chanOp is one submission-queue entry: the operation plus the routing
+// state that demuxes its response (in hardware this is the vcid header
+// echoed through the endpoint's in-flight table).
+type chanOp struct {
+	kind      opKind
+	key       kv.Key
+	value     []byte
+	cb        func(kv.Result)
+	submitted sim.Time
+	started   bool
+	trace     *telemetry.Trace
+}
+
+// Channel is one logical client riding the endpoint: the unit an
+// application holds. It implements kv.KV, so application code written
+// against a direct HERD client runs unchanged over the multiplexer. The
+// channel's id is its vcid — the tag heading every submission-queue
+// entry it produces, by which the endpoint routes responses back.
+//
+// Channels are free at the server: no connected QP, no request-region
+// column, no NIC context. Only the endpoint's pooled clients cost
+// server-side state.
+type Channel struct {
+	ep *Endpoint
+	id int
+
+	queue       []*chanOp // accepted, not yet issued to the pool
+	outstanding int       // issued to the pool, not yet resolved
+	inflight    int       // accepted, not yet resolved (queued + outstanding)
+	stalled     bool
+
+	issuedOps uint64 // accepted submissions
+	completed uint64
+	failed    uint64
+}
+
+// ID returns the channel's virtual channel id, unique per endpoint.
+func (ch *Channel) ID() int { return ch.id }
+
+// Stalled reports whether the channel currently has backlog the
+// endpoint could not issue immediately (window full or pool saturated).
+func (ch *Channel) Stalled() bool { return ch.stalled }
+
+// Queued returns this channel's backlog depth.
+func (ch *Channel) Queued() int { return len(ch.queue) }
+
+// Get fetches key; cb receives a hit with the value, or a miss.
+func (ch *Channel) Get(key kv.Key, cb func(kv.Result)) error {
+	if key.IsZero() {
+		return mica.ErrZeroKey
+	}
+	ch.ep.submit(ch, &chanOp{kind: opGet, key: key, cb: cb})
+	return nil
+}
+
+// Put stores value under key. Validation mirrors the HERD client so a
+// malformed op is rejected at the channel, before it occupies endpoint
+// queue space.
+func (ch *Channel) Put(key kv.Key, value []byte, cb func(kv.Result)) error {
+	if key.IsZero() {
+		return mica.ErrZeroKey
+	}
+	if len(value) == 0 {
+		return fmt.Errorf("mux: PUT requires a non-empty value")
+	}
+	if len(value) > mica.MaxValueSize {
+		return mica.ErrValueTooLarge
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	ch.ep.submit(ch, &chanOp{kind: opPut, key: key, value: v, cb: cb})
+	return nil
+}
+
+// Delete removes key; the result reports whether it was present.
+func (ch *Channel) Delete(key kv.Key, cb func(kv.Result)) error {
+	if key.IsZero() {
+		return mica.ErrZeroKey
+	}
+	ch.ep.submit(ch, &chanOp{kind: opDelete, key: key, cb: cb})
+	return nil
+}
+
+// Inflight returns the number of unresolved operations (queued at the
+// endpoint plus outstanding on the pool).
+func (ch *Channel) Inflight() int { return ch.inflight }
+
+// Issued counts submissions the channel accepted.
+func (ch *Channel) Issued() uint64 { return ch.issuedOps }
+
+// Completed counts operations resolved with a served response.
+func (ch *Channel) Completed() uint64 { return ch.completed }
+
+// Failed counts operations that resolved terminally unserved.
+func (ch *Channel) Failed() uint64 { return ch.failed }
+
+var _ kv.KV = (*Channel)(nil)

@@ -1,0 +1,341 @@
+// Package mux is the per-host endpoint/multiplexer tier: many logical
+// client channels ride a small fixed pool of shared connected QP sets,
+// the RDMA-as-a-service pattern RDMAvisor argues for (PAPERS.md).
+//
+// The problem it attacks is Figure 12's client-scaling cliff: HERD keeps
+// one connected UC QP per client at the server, so past the RNIC's
+// receive-context-cache capacity (~280 on ConnectX-3, internal/nic)
+// every inbound request misses the QP context cache and throughput
+// collapses. The endpoint consolidates that state: applications on a
+// host open logical channels against the local endpoint instead of
+// dialing the server themselves, and the endpoint multiplexes all
+// channel traffic over its pool. Server-side connected QPs then scale
+// with hosts x pool size — dozens — instead of with application clients.
+//
+// Mechanics (docs/SCALABILITY.md):
+//
+//   - Each channel has a virtual channel id (vcid). A submitted op is
+//     one entry in the endpoint's host-local submission queue, headed by
+//     its vcid; the endpoint's in-flight table keyed by that header
+//     routes the response back to the owning channel at completion. The
+//     app-to-endpoint hop is an intra-host shared-memory enqueue, unpaid
+//     in the model (well under the ~2 us network RTT).
+//   - The endpoint issues across channels in round-robin order, so one
+//     greedy channel cannot starve the others out of the shared pool.
+//   - Channel-level flow control caps each channel at ChannelWindow
+//     outstanding ops; the pool-level check respects each pooled
+//     client's *effective* window, so when core's AIMD controller
+//     (core.Config.AdaptiveWindow) shrinks a pooled client under busy
+//     pushback, the endpoint's issue rate shrinks with it and excess
+//     demand queues at the channels instead of retry-storming the wire.
+//
+// The endpoint is deliberately transport-agnostic: pooled clients are
+// kv.KV implementations (plus an effective-window accessor), so the same
+// tier multiplexes plain HERD clients and fleet sub-clients alike.
+package mux
+
+import (
+	"errors"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/core"
+	"herdkv/internal/kv"
+	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
+)
+
+// ErrChannelLimit is returned by OpenChannel past Config.MaxChannels.
+var ErrChannelLimit = errors.New("mux: endpoint channel limit reached")
+
+// PoolClient is what the endpoint needs from a pooled transport client:
+// the unified kv.KV operations plus the client's current effective
+// request window (which core's AIMD controller may shrink at runtime).
+type PoolClient interface {
+	kv.KV
+	Window() int
+}
+
+// Config parameterizes one endpoint.
+type Config struct {
+	// QPs is the pool size: how many connected client QP sets the
+	// endpoint shares among all its channels (default 2). This — not
+	// the channel count — is what the server's NIC holds context state
+	// for.
+	QPs int
+	// ChannelWindow caps each channel's outstanding ops at the endpoint
+	// (default 4, mirroring HERD's per-client window W). Submissions
+	// beyond it queue in the channel until completions free slots.
+	ChannelWindow int
+	// MaxChannels bounds OpenChannel (0 = unbounded).
+	MaxChannels int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QPs < 1 {
+		c.QPs = 2
+	}
+	if c.ChannelWindow < 1 {
+		c.ChannelWindow = 4
+	}
+	return c
+}
+
+// DefaultConfig returns the endpoint defaults: a 2-QP pool and a
+// per-channel window of 4.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// Endpoint is one host's multiplexer: the shared pool, the open
+// channels, and the round-robin issue scheduler.
+type Endpoint struct {
+	cfg      Config
+	machine  *cluster.Machine
+	eng      *sim.Engine
+	pool     []PoolClient
+	channels []*Channel
+
+	rr      int // next channel to consider (fair round-robin)
+	poolRR  int // next pool client to consider
+	queued  int // ops waiting in channel queues, endpoint-wide
+	pumping bool
+
+	issued, completed, failed uint64
+
+	tel          *telemetry.Sink
+	telEndpoints *telemetry.Gauge
+	telChannels  *telemetry.Gauge
+	telQPs       *telemetry.Gauge
+	telIssued    *telemetry.Counter
+	telCompleted *telemetry.Counter
+	telFailed    *telemetry.Counter
+	telQueued    *telemetry.Gauge
+	telStalls    *telemetry.Counter
+	telResumes   *telemetry.Counter
+	telStalled   *telemetry.Gauge
+	latOp        *telemetry.Histogram
+}
+
+// New builds an endpoint on machine m over an already-connected pool.
+// Most callers want Connect, which also dials the pool.
+func New(m *cluster.Machine, pool []PoolClient, cfg Config) (*Endpoint, error) {
+	if len(pool) == 0 {
+		return nil, errors.New("mux: endpoint needs a non-empty pool")
+	}
+	ep := &Endpoint{
+		cfg:     cfg.withDefaults(),
+		machine: m,
+		eng:     m.Verbs.NIC().Engine(),
+		pool:    pool,
+	}
+	ep.tel = m.Verbs.Telemetry()
+	ep.telEndpoints = ep.tel.Gauge("mux.endpoints")
+	ep.telChannels = ep.tel.Gauge("mux.channels")
+	ep.telQPs = ep.tel.Gauge("mux.qps")
+	ep.telIssued = ep.tel.Counter("mux.ops.issued")
+	ep.telCompleted = ep.tel.Counter("mux.ops.completed")
+	ep.telFailed = ep.tel.Counter("mux.ops.failed")
+	ep.telQueued = ep.tel.Gauge("mux.queue.depth")
+	ep.telStalls = ep.tel.Counter("mux.chan.stalls")
+	ep.telResumes = ep.tel.Counter("mux.chan.resumes")
+	ep.telStalled = ep.tel.Gauge("mux.chan.stalled")
+	ep.latOp = ep.tel.Histogram("mux.op.latency")
+	ep.telEndpoints.Add(1)
+	ep.telQPs.Add(int64(len(pool)))
+	return ep, nil
+}
+
+// Connect builds an endpoint on machine m backed by a fresh pool of
+// cfg.QPs HERD clients connected to srv. Each pooled client occupies one
+// of the server's MaxClients request-region columns; the channels do not.
+func Connect(srv *core.Server, m *cluster.Machine, cfg Config) (*Endpoint, error) {
+	cfg = cfg.withDefaults()
+	clients, err := srv.ConnectClients(m, cfg.QPs)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]PoolClient, len(clients))
+	for i, c := range clients {
+		pool[i] = c
+	}
+	return New(m, pool, cfg)
+}
+
+// OpenChannel registers a new logical client channel and returns it.
+// The channel implements kv.KV; its id is the vcid heading every
+// submission-queue entry the channel produces.
+func (ep *Endpoint) OpenChannel() (*Channel, error) {
+	if ep.cfg.MaxChannels > 0 && len(ep.channels) >= ep.cfg.MaxChannels {
+		return nil, ErrChannelLimit
+	}
+	ch := &Channel{ep: ep, id: len(ep.channels)}
+	ep.channels = append(ep.channels, ch)
+	ep.telChannels.Add(1)
+	return ch, nil
+}
+
+// Config returns the endpoint configuration (defaults applied).
+func (ep *Endpoint) Config() Config { return ep.cfg }
+
+// Channels returns how many channels are open.
+func (ep *Endpoint) Channels() int { return len(ep.channels) }
+
+// PoolSize returns the number of pooled transport clients.
+func (ep *Endpoint) PoolSize() int { return len(ep.pool) }
+
+// Queued returns how many accepted ops are waiting in channel queues.
+func (ep *Endpoint) Queued() int { return ep.queued }
+
+// Issued, Completed and Failed report endpoint-wide op counts (issued
+// counts hand-offs to the pool, not submissions).
+func (ep *Endpoint) Issued() uint64    { return ep.issued }
+func (ep *Endpoint) Completed() uint64 { return ep.completed }
+func (ep *Endpoint) Failed() uint64    { return ep.failed }
+
+func (ep *Endpoint) now() sim.Time { return ep.eng.Now() }
+
+// poolWithRoom returns the next pooled client with window room, in
+// round-robin order, or nil when the pool is saturated. The room check
+// uses the client's effective window, so a pooled client whose AIMD
+// window shrank under busy pushback accepts proportionally less — the
+// endpoint's composition with core's overload control.
+func (ep *Endpoint) poolWithRoom() PoolClient {
+	for i := 0; i < len(ep.pool); i++ {
+		cli := ep.pool[ep.poolRR%len(ep.pool)]
+		ep.poolRR++
+		if cli.Inflight() < cli.Window() {
+			return cli
+		}
+	}
+	return nil
+}
+
+// pump issues queued ops fairly: channels are visited round-robin, one
+// issue per visit, until every channel is idle (empty queue or at its
+// ChannelWindow) or the pool is saturated. Re-entrant calls (a pooled
+// client rejecting an op synchronously completes it mid-pump) fold into
+// the running loop.
+func (ep *Endpoint) pump() {
+	if ep.pumping {
+		return
+	}
+	ep.pumping = true
+	defer func() { ep.pumping = false }()
+	n := len(ep.channels)
+	idle := 0
+	for idle < n {
+		ch := ep.channels[ep.rr%n]
+		if len(ch.queue) == 0 || ch.outstanding >= ep.cfg.ChannelWindow {
+			ep.rr++
+			idle++
+			continue
+		}
+		cli := ep.poolWithRoom()
+		if cli == nil {
+			// Pool saturated. The cursor stays on this channel so it is
+			// first in line when a completion re-pumps — advancing past
+			// it here would cost it its turn.
+			return
+		}
+		ep.rr++
+		ep.issue(ch, cli)
+		idle = 0
+	}
+}
+
+// issue pops the head of ch's queue and hands it to cli. The op's vcid
+// header moves from the submission queue to the in-flight table — here,
+// the completion closure carrying (ch, op) — which demuxes the response
+// back to the owning channel.
+func (ep *Endpoint) issue(ch *Channel, cli PoolClient) {
+	op := ch.queue[0]
+	ch.queue = ch.queue[1:]
+	ep.queued--
+	ep.telQueued.Add(-1)
+	if ch.stalled && len(ch.queue) == 0 {
+		ch.stalled = false
+		ep.telResumes.Inc()
+		ep.telStalled.Add(-1)
+	}
+	op.trace.Mark("mux.resume", ep.now())
+	op.started = true
+	ch.outstanding++
+	ep.issued++
+	ep.telIssued.Inc()
+
+	cb := func(r kv.Result) { ep.complete(ch, op, r) }
+	var err error
+	switch op.kind {
+	case opPut:
+		err = cli.Put(op.key, op.value, cb)
+	case opDelete:
+		err = cli.Delete(op.key, cb)
+	default:
+		err = cli.Get(op.key, cb)
+	}
+	if err != nil {
+		// Synchronous rejection: resolve the op as failed so channel
+		// accounting stays balanced (mirrors fleet.Client).
+		ep.complete(ch, op, kv.Result{
+			Key: op.key, IsGet: op.kind == opGet, Status: kv.StatusTimeout, Err: err,
+		})
+	}
+}
+
+// complete demuxes one resolved op back to its owning channel: the
+// channel's slot frees, endpoint counters advance, latency is re-based
+// to the channel's submission time (queueing included), and the
+// scheduler runs before the callback so closed-loop channels keep the
+// pipe full.
+func (ep *Endpoint) complete(ch *Channel, op *chanOp, r kv.Result) {
+	ch.outstanding--
+	ch.inflight--
+	r.Latency = ep.now() - op.submitted
+	if r.Err == nil {
+		ch.completed++
+		ep.completed++
+		ep.telCompleted.Inc()
+		ep.latOp.RecordTime(r.Latency)
+	} else {
+		ch.failed++
+		ep.failed++
+		ep.telFailed.Inc()
+	}
+	ep.pump()
+	if op.cb != nil {
+		op.cb(r)
+	}
+}
+
+// submit accepts one channel op into the endpoint: enqueue, try to
+// issue, and record a stall if the op could not go out immediately.
+func (ep *Endpoint) submit(ch *Channel, op *chanOp) {
+	op.submitted = ep.now()
+	ch.inflight++
+	ch.issuedOps++
+	ch.queue = append(ch.queue, op)
+	ep.queued++
+	ep.telQueued.Add(1)
+	ep.pump()
+	if !op.started {
+		// The op is still queued: channel window full or pool saturated.
+		if !ch.stalled {
+			ch.stalled = true
+			ep.telStalls.Inc()
+			ep.telStalled.Add(1)
+		}
+		if ep.tel.Tracing() {
+			op.trace = ep.tel.StartTrace(op.kind.kindName(), op.submitted)
+			op.trace.Mark("mux.stall", op.submitted)
+		}
+	}
+}
+
+// kindName returns the trace name for an operation kind.
+func (k opKind) kindName() string {
+	switch k {
+	case opPut:
+		return "PUT"
+	case opDelete:
+		return "DELETE"
+	}
+	return "GET"
+}

@@ -10,24 +10,41 @@ import "container/list"
 // Requester-side send contexts are large (WQE scheduling state), so few
 // fit; responder-side receive contexts are small, so many more fit —
 // which is exactly why inbound WRITEs scale to hundreds of clients while
-// outbound WRITEs collapse (Figure 6).
+// outbound WRITEs collapse (Figure 6). The same cache is the mechanism
+// behind Figure 12's client-scaling cliff: past RecvCtxCap concurrently
+// active client QPs, every arrival misses (docs/SCALABILITY.md).
 type ContextCache struct {
-	cap    int
-	ll     *list.List
-	byKey  map[uint64]*list.Element
-	hits   uint64
-	misses uint64
+	cap       int
+	ll        *list.List
+	byKey     map[uint64]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+
+	// Per-key accounting: which QP contexts are thrashing. Keys are the
+	// same global QP keys callers pass to Touch.
+	missByKey  map[uint64]uint64
+	evictByKey map[uint64]uint64
+
+	// onEvict (optional) observes each eviction's victim key; the NIC
+	// hangs telemetry on it.
+	onEvict func(victim uint64)
 }
 
 // NewContextCache returns a cache holding up to capacity contexts.
 // A capacity <= 0 means unbounded (never misses after first touch).
 func NewContextCache(capacity int) *ContextCache {
 	return &ContextCache{
-		cap:   capacity,
-		ll:    list.New(),
-		byKey: make(map[uint64]*list.Element),
+		cap:        capacity,
+		ll:         list.New(),
+		byKey:      make(map[uint64]*list.Element),
+		missByKey:  make(map[uint64]uint64),
+		evictByKey: make(map[uint64]uint64),
 	}
 }
+
+// OnEvict registers fn to run with each eviction's victim key.
+func (c *ContextCache) OnEvict(fn func(victim uint64)) { c.onEvict = fn }
 
 // Touch records an access to the context for key and reports whether it
 // was resident (true = hit). On a miss the context is fetched and the
@@ -39,10 +56,17 @@ func (c *ContextCache) Touch(key uint64) bool {
 		return true
 	}
 	c.misses++
+	c.missByKey[key]++
 	if c.cap > 0 && c.ll.Len() >= c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(uint64))
+		victim := oldest.Value.(uint64)
+		delete(c.byKey, victim)
+		c.evictions++
+		c.evictByKey[victim]++
+		if c.onEvict != nil {
+			c.onEvict(victim)
+		}
 	}
 	c.byKey[key] = c.ll.PushFront(key)
 	return false
@@ -51,9 +75,26 @@ func (c *ContextCache) Touch(key uint64) bool {
 // Len returns the number of resident contexts.
 func (c *ContextCache) Len() int { return c.ll.Len() }
 
+// Resident reports whether key's context is currently on chip, without
+// recording an access.
+func (c *ContextCache) Resident(key uint64) bool {
+	_, ok := c.byKey[key]
+	return ok
+}
+
 // Hits and Misses report access statistics.
 func (c *ContextCache) Hits() uint64   { return c.hits }
 func (c *ContextCache) Misses() uint64 { return c.misses }
+
+// Evictions reports how many resident contexts were displaced to make
+// room for missing ones.
+func (c *ContextCache) Evictions() uint64 { return c.evictions }
+
+// MissesFor reports how many accesses to key's context missed.
+func (c *ContextCache) MissesFor(key uint64) uint64 { return c.missByKey[key] }
+
+// EvictionsFor reports how many times key's context was the LRU victim.
+func (c *ContextCache) EvictionsFor(key uint64) uint64 { return c.evictByKey[key] }
 
 // HitRate returns hits / accesses, or 1 if there were no accesses.
 func (c *ContextCache) HitRate() float64 {
