@@ -24,11 +24,14 @@ race:
 # sweep (goodput + p99 vs offered load, with and without the overload
 # controller) rides along and writes BENCH_overload.json, and the
 # client-scaling sweep (the Figure 12 cliff with and without the
-# endpoint multiplexing tier) writes BENCH_clients.json.
+# endpoint multiplexing tier) writes BENCH_clients.json, and the
+# durability comparison (warm WAL rejoin vs cold re-replication after a
+# mid-flush crash) writes BENCH_durability.json.
 bench:
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -benchjson BENCH_fleet.json fleet-bench
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -overloadjson BENCH_overload.json overload
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -clientsjson BENCH_clients.json clients-sweep
+	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -durabilityjson BENCH_durability.json durability
 
 microbench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

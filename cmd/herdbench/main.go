@@ -19,7 +19,10 @@
 // as JSON); see docs/ROBUSTNESS.md. "clients-sweep" sweeps the client
 // count from 100 to 10k with and without the endpoint multiplexing
 // tier (-clientsjson writes the sweep as JSON); see
-// docs/SCALABILITY.md.
+// docs/SCALABILITY.md. "durability" crashes a durable fleet
+// mid-group-commit and compares warm WAL rejoin against cold
+// re-replication (-durabilityjson writes the comparison as JSON); see
+// docs/DURABILITY.md.
 //
 // -metrics dumps the cluster-wide metric registry (per-verb posted and
 // completion counters, PCIe transaction counts, NIC cache hit rates,
@@ -57,6 +60,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "with the fleet-bench target: also write the comparison as JSON to this file")
 	overloadJSON := flag.String("overloadjson", "", "with the overload target: also write the sweep as JSON to this file")
 	clientsJSON := flag.String("clientsjson", "", "with the clients-sweep target: also write the sweep as JSON to this file")
+	durabilityJSON := flag.String("durabilityjson", "", "with the durability target: also write the comparison as JSON to this file")
 	flag.Parse()
 
 	experiments.Warmup = sim.Time(*warmupUS) * sim.Microsecond
@@ -145,6 +149,16 @@ func main() {
 			return tbl
 		},
 
+		// Durability: the fleet crashed mid-group-commit, warm WAL
+		// rejoin vs cold re-replication (docs/DURABILITY.md).
+		"durability": func() *experiments.Table {
+			tbl, res := experiments.DurabilityScenario(spec)
+			if *durabilityJSON != "" {
+				writeFile(*durabilityJSON, res.WriteJSON)
+			}
+			return tbl
+		},
+
 		// Robustness: HERD under a scripted fault schedule.
 		"chaos": func() *experiments.Table {
 			if *faultsFile == "" {
@@ -169,7 +183,7 @@ func main() {
 		"ablation-arch", "ablation-inline", "ablation-window", "ablation-prefetch",
 		"ablation-doorbell",
 		"anatomy", "cpuuse", "symmetric", "classical", "chaos",
-		"fleet-bench", "fleet-chaos", "overload", "clients-sweep",
+		"fleet-bench", "fleet-chaos", "overload", "clients-sweep", "durability",
 	}
 
 	if *list {

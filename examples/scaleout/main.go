@@ -138,6 +138,10 @@ func failoverDemo() {
 	}
 	fcfg := herdkv.DefaultFleetConfig()
 	fcfg.Herd = herdConfig(1)
+	// Durability makes the crashed shard's restart warm: its MICA
+	// partitions are DRAM and die with the crash, but the write-ahead
+	// log replays them back before the shard rejoins the ring.
+	fcfg.Herd.Durability = herdkv.DurabilityGroupCommit
 	d, err := herdkv.NewFleet(servers, fcfg)
 	if err != nil {
 		log.Fatal(err)

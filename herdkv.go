@@ -36,6 +36,7 @@ import (
 	"herdkv/internal/pilaf"
 	"herdkv/internal/sim"
 	"herdkv/internal/telemetry"
+	"herdkv/internal/wal"
 	"herdkv/internal/workload"
 )
 
@@ -120,6 +121,28 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 
 // NewServer initializes HERD on machine m.
 func NewServer(m *Machine, cfg Config) (*Server, error) { return core.NewServer(m, cfg) }
+
+// Durability selects the server write-ahead-log mode
+// (docs/DURABILITY.md).
+type Durability = core.Durability
+
+// Durability modes for Config.Durability.
+const (
+	// DurabilityOff keeps the MICA partitions purely volatile (the
+	// paper's behavior): a crashed server restarts cold.
+	DurabilityOff = core.DurabilityOff
+	// DurabilityGroupCommit logs every successful PUT/DELETE and acks
+	// immediately; a batched group commit persists within the flush
+	// window, and a crashed server replays its log to rejoin warm.
+	DurabilityGroupCommit = core.DurabilityGroupCommit
+	// DurabilitySync holds each mutation's response until its log
+	// record is durable (log-before-ack).
+	DurabilitySync = core.DurabilitySync
+)
+
+// WALConfig parameterizes the write-ahead log's group commit and
+// persist device (Config.WAL).
+type WALConfig = wal.Config
 
 // MicaConfig sizes each HERD cache partition.
 type MicaConfig = mica.Config

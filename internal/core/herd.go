@@ -35,6 +35,7 @@ import (
 	"herdkv/internal/sim"
 	"herdkv/internal/telemetry"
 	"herdkv/internal/verbs"
+	"herdkv/internal/wal"
 	"herdkv/internal/wire"
 )
 
@@ -182,7 +183,36 @@ type Config struct {
 	// Window. Clients then self-pace under overload instead of
 	// retry-storming. Off by default (the paper's fixed W).
 	AdaptiveWindow bool
+
+	// Durability selects the write-ahead-log mode (see internal/wal and
+	// docs/DURABILITY.md). Off (the default, the paper's behavior) keeps
+	// the MICA partitions purely volatile: a crash loses everything and
+	// Restart comes back cold. DurabilityGroupCommit logs every
+	// successful PUT/DELETE and acks before the group commit persists
+	// (the group-commit window is the exposure). DurabilitySync holds
+	// each mutation's response until its log record is durable.
+	Durability Durability
+
+	// WAL parameterizes the write-ahead log's group commit and persist
+	// device; zero values take the wal package defaults. Ignored when
+	// Durability is off.
+	WAL wal.Config
 }
+
+// Durability is the Config.Durability knob.
+type Durability int
+
+// Durability modes.
+const (
+	// DurabilityOff disables the WAL: the paper's volatile cache.
+	DurabilityOff Durability = iota
+	// DurabilityGroupCommit logs mutations and acks immediately; the
+	// batched group commit persists them within a flush interval.
+	DurabilityGroupCommit
+	// DurabilitySync logs mutations and acks only once durable
+	// (log-before-ack), forcing a flush per mutation.
+	DurabilitySync
+)
 
 // Effective retry-policy accessors: zero-valued fields mean defaults.
 
@@ -268,6 +298,19 @@ type Server struct {
 	down  bool
 	epoch int
 
+	// Durability state (Config.Durability != DurabilityOff): the shared
+	// write-ahead log behind all NS partitions, whether a log replay is
+	// in progress (the server stays down until it completes), the last
+	// completed recovery, and the hook fleet recovery installs to learn
+	// when — and how warm — this shard rejoined.
+	wlog         *wal.Log
+	recovering   bool
+	lastRecovery RecoveryInfo
+	onRecovered  func(RecoveryInfo)
+
+	// telRecoveryTime records each recovery's duration in nanoseconds.
+	telRecoveryTime *telemetry.Gauge
+
 	// clientUD[c][s] is client c's UD QP for responses from process s,
 	// registered at connection setup (the paper's address-handle
 	// exchange).
@@ -331,6 +374,12 @@ func NewServer(m *cluster.Machine, cfg Config) (*Server, error) {
 	for i := range s.parts {
 		s.parts[i] = mica.New(cfg.Mica)
 	}
+	if cfg.Durability != DurabilityOff {
+		tel := m.Verbs.Telemetry()
+		s.wlog = wal.New(m.Verbs.NIC().Engine(), cfg.WAL, tel)
+		s.wlog.SetSnapshotSource(s.snapshotLiveState)
+		s.telRecoveryTime = tel.Gauge("recovery.time")
+	}
 	s.createQPs()
 	if !cfg.UseSendRequests {
 		s.region.Watch(0, cfg.RegionSize(), s.onRequestLanded)
@@ -379,8 +428,9 @@ func (s *Server) createQPs() {
 // WRs flush in error), buffered responses and in-flight request traces
 // are dropped, and request-region contents are dead — a restarted
 // process re-registers the region and starts from zeroed slots. The
-// MICA partitions survive (host memory is recovered on restart); only
-// connection and request state is lost.
+// MICA partitions are DRAM and die with the machine: without a WAL the
+// server restarts cold; with one, Restart replays snapshot + log tail
+// and rejoins warm.
 func (s *Server) Crash() {
 	if s.down {
 		return
@@ -401,6 +451,26 @@ func (s *Server) Crash() {
 	s.slotTraces = nil
 	s.respBuf = nil
 	s.respArmed = nil
+	for i := range s.parts {
+		s.parts[i] = mica.New(s.cfg.Mica)
+	}
+	if s.wlog != nil {
+		s.wlog.Crash()
+	}
+}
+
+// CrashMidFlush is the fault injector's "flushcrash" variant: the power
+// loss lands mid-group-commit, so the WAL's device write is cut
+// strictly inside its final record and recovery must truncate a torn
+// tail. Without a WAL it degenerates to a plain Crash.
+func (s *Server) CrashMidFlush() {
+	if s.down {
+		return
+	}
+	if s.wlog != nil {
+		s.wlog.CrashTorn()
+	}
+	s.Crash()
 }
 
 // Restart brings a crashed server back: the request region is
@@ -408,10 +478,47 @@ func (s *Server) Crash() {
 // queue pairs replace the errored ones. WRITE-mode clients must run the
 // re-registration handshake to reconnect their UC pairs; SEND/SEND and
 // DC clients address the server per-message and recover by retrying.
+//
+// With durability on, the restart is warm: the server stays down while
+// the WAL replays snapshot + log tail into fresh MICA partitions (a
+// measurable outage on the sim clock), restores its pre-crash epoch
+// from the replayed records, and only then accepts requests. Without a
+// WAL the restart is cold and immediate.
 func (s *Server) Restart() {
-	if !s.down {
+	if !s.down || s.recovering {
 		return
 	}
+	if s.wlog == nil {
+		s.rejoin()
+		s.finishRecovery(RecoveryInfo{At: s.now()})
+		return
+	}
+	s.recovering = true
+	start := s.now()
+	tr := s.machine.Verbs.Telemetry().StartTrace("recovery", start)
+	s.wlog.Recover(s.applyRecord, func(st wal.RecoverStats) {
+		s.recovering = false
+		// Epoch monotonicity: the replayed records carry the epochs of
+		// the writes they logged; never rejoin at or below one of them.
+		if st.MaxEpoch >= s.epoch {
+			s.epoch = st.MaxEpoch + 1
+		}
+		s.rejoin()
+		tr.Mark("wal.replay", s.now())
+		s.finishRecovery(RecoveryInfo{
+			Warm:            true,
+			At:              s.now(),
+			Duration:        s.now() - start,
+			Replayed:        st.Records,
+			SnapshotRecords: st.SnapshotRecords,
+			TornBytes:       st.TornBytes,
+			Since:           st.Since,
+		})
+	})
+}
+
+// rejoin is the shared tail of Restart: zeroed region, fresh QPs, up.
+func (s *Server) rejoin() {
 	buf := s.region.Bytes()
 	for i := range buf {
 		buf[i] = 0
@@ -420,8 +527,88 @@ func (s *Server) Restart() {
 	s.down = false
 }
 
+// finishRecovery records one completed restart and notifies the fleet.
+func (s *Server) finishRecovery(info RecoveryInfo) {
+	s.lastRecovery = info
+	if s.telRecoveryTime != nil {
+		s.telRecoveryTime.Set(int64(info.Duration / sim.Nanosecond))
+	}
+	if s.onRecovered != nil {
+		s.onRecovered(info)
+	}
+}
+
+// applyRecord replays one WAL record into the owning MICA partition.
+func (s *Server) applyRecord(r wal.Record) {
+	part := s.parts[mica.Partition(r.Key, s.cfg.NS)]
+	switch r.Op {
+	case wal.OpPut:
+		_ = part.Put(r.Key, r.Value)
+	case wal.OpDelete:
+		part.Delete(r.Key)
+	}
+}
+
+// snapshotLiveState walks every partition's live entries for WAL
+// snapshot compaction (partition order, then mica.Cache.Range's
+// deterministic index-slot order within each).
+func (s *Server) snapshotLiveState(emit func(key kv.Key, value []byte)) {
+	for _, part := range s.parts {
+		part.Range(func(key kv.Key, value []byte) bool {
+			emit(key, value)
+			return true
+		})
+	}
+}
+
+// now returns the shared sim clock's current instant.
+func (s *Server) now() sim.Time { return s.machine.Verbs.NIC().Engine().Now() }
+
+// RecoveryInfo describes one completed Server.Restart.
+type RecoveryInfo struct {
+	// Warm reports whether the restart replayed a WAL (false: cold).
+	Warm bool
+	// At is when the server came back up.
+	At sim.Time
+	// Duration is the replay outage (zero for a cold restart).
+	Duration sim.Time
+	// Replayed and SnapshotRecords count applied log-tail and snapshot
+	// records.
+	Replayed        int
+	SnapshotRecords int
+	// TornBytes is how much torn log tail the replay truncated.
+	TornBytes int
+	// Since is the instant from which this shard's log may be missing
+	// records — the fleet's delta catch-up replays survivors' writes
+	// from here.
+	Since sim.Time
+}
+
+// SetRecoveryHook registers fn to run whenever a Restart completes
+// (cold or warm). The fleet layer uses it to start delta catch-up.
+func (s *Server) SetRecoveryHook(fn func(RecoveryInfo)) { s.onRecovered = fn }
+
+// LastRecovery returns the most recent completed restart's info.
+func (s *Server) LastRecovery() RecoveryInfo { return s.lastRecovery }
+
+// WAL exposes the server's write-ahead log (nil with durability off).
+func (s *Server) WAL() *wal.Log { return s.wlog }
+
+// WALRecordsSince returns this shard's logged records appended at or
+// after t — the survivor side of a fleet delta catch-up.
+func (s *Server) WALRecordsSince(t sim.Time) []wal.Record {
+	if s.wlog == nil {
+		return nil
+	}
+	return s.wlog.RecordsSince(t)
+}
+
 // Down reports whether the server process is crashed.
 func (s *Server) Down() bool { return s.down }
+
+// Recovering reports whether a WAL replay is in progress (the server is
+// down until it completes).
+func (s *Server) Recovering() bool { return s.recovering }
 
 // reregister is the server half of the reconnection handshake: a live
 // server replaces the client's (errored) server-side UC QP with a fresh
@@ -449,9 +636,30 @@ func (s *Server) Partition(i int) *mica.Cache { return s.parts[i] }
 
 // Preload inserts an item server-side (no network traffic), routing it
 // to the partition that will serve it — used to warm a deployment before
-// an experiment.
+// an experiment, and by fleet migration/catch-up to copy keys between
+// shards. With durability on it writes through the WAL as immediately
+// durable (the control-plane path models data loaded before the run):
+// otherwise a crash before the first flush would replay the log to a
+// pre-preload view and silently resurrect deleted or stale state.
 func (s *Server) Preload(key kv.Key, value []byte) error {
+	if s.wlog != nil {
+		s.wlog.AppendDurable(wal.Record{
+			Op: wal.OpPut, Key: key,
+			Value: append([]byte(nil), value...),
+			Epoch: s.epoch,
+		})
+	}
 	return s.parts[mica.Partition(key, s.cfg.NS)].Put(key, value)
+}
+
+// PreloadDelete removes an item server-side, through the WAL like
+// Preload — the delete half of a fleet delta catch-up (a recovered
+// shard replaying a survivor's post-crash DELETEs).
+func (s *Server) PreloadDelete(key kv.Key) bool {
+	if s.wlog != nil {
+		s.wlog.AppendDurable(wal.Record{Op: wal.OpDelete, Key: key, Epoch: s.epoch})
+	}
+	return s.parts[mica.Partition(key, s.cfg.NS)].Delete(key)
 }
 
 // Stats reports server-side operation counts.
@@ -705,6 +913,9 @@ func (s *Server) execute(req request) {
 			binary.LittleEndian.PutUint16(h[3:5], req.rMod)
 			return h
 		}
+		// logged is non-nil when this request mutated state that the WAL
+		// must record (a successful PUT or DELETE under durability).
+		var logged *wal.Record
 		switch {
 		case isPut:
 			err := part.Put(req.key, req.value)
@@ -712,6 +923,14 @@ func (s *Server) execute(req request) {
 			status := byte(statusOK)
 			if err != nil {
 				status = statusNotFound
+			} else if s.wlog != nil {
+				// The slot's value bytes are zeroed and reused after the
+				// response; the log record needs its own copy.
+				logged = &wal.Record{
+					Op: wal.OpPut, Key: req.key,
+					Value: append([]byte(nil), req.value...),
+					Epoch: epoch,
+				}
 			}
 			resp = hdr(status, 0)
 		case isDelete:
@@ -719,6 +938,9 @@ func (s *Server) execute(req request) {
 			status := byte(statusNotFound)
 			if part.Delete(req.key) {
 				status = statusOK
+				if s.wlog != nil {
+					logged = &wal.Record{Op: wal.OpDelete, Key: req.key, Epoch: epoch}
+				}
 			}
 			resp = hdr(status, 0)
 		default:
@@ -733,34 +955,62 @@ func (s *Server) execute(req request) {
 			}
 		}
 
-		// Free the slot for the client's next request: zero LEN + key.
-		if req.slotRaw != nil {
-			zeroTail(req.slotRaw)
+		respond := func() {
+			// Free the slot for the client's next request: zero LEN + key.
+			if req.slotRaw != nil {
+				zeroTail(req.slotRaw)
+			}
+
+			// Response: unsignaled SEND over UD, inlined below the cutoff.
+			inline := len(resp)-respHdr <= s.cfg.InlineCutoff
+			if inline {
+				s.inlineResponses++
+			} else {
+				s.nonInlineResponses++
+			}
+			dest := s.clientQP(req.client, req.proc)
+			if dest == nil {
+				return
+			}
+			wr := verbs.SendWR{
+				Verb:   verbs.SEND,
+				Data:   resp,
+				Dest:   dest,
+				Inline: inline,
+				Trace:  req.trace,
+			}
+			if s.cfg.ResponseBatch <= 1 {
+				postLossy(s.udQPs[req.proc].PostSend(wr))
+				return
+			}
+			s.bufferResponse(req.proc, wr)
 		}
 
-		// Response: unsignaled SEND over UD, inlined below the cutoff.
-		inline := len(resp)-respHdr <= s.cfg.InlineCutoff
-		if inline {
-			s.inlineResponses++
-		} else {
-			s.nonInlineResponses++
-		}
-		dest := s.clientQP(req.client, req.proc)
-		if dest == nil {
+		if logged == nil {
+			respond() // reads and failed mutations: nothing to persist
 			return
 		}
-		wr := verbs.SendWR{
-			Verb:   verbs.SEND,
-			Data:   resp,
-			Dest:   dest,
-			Inline: inline,
-			Trace:  req.trace,
-		}
-		if s.cfg.ResponseBatch <= 1 {
-			postLossy(s.udQPs[req.proc].PostSend(wr))
+		if s.cfg.Durability == DurabilitySync {
+			// Log-before-ack: the response waits for the record's group
+			// commit. A crash in between drops the callback with the ack
+			// unsent — the client retries and the operation re-executes
+			// idempotently after recovery.
+			s.wlog.Append(*logged, func() {
+				if s.down || s.epoch != epoch {
+					return
+				}
+				req.trace.Mark("wal.flush", s.now())
+				respond()
+			})
+			s.wlog.Flush()
 			return
 		}
-		s.bufferResponse(req.proc, wr)
+		// Group commit: ack now, persist within the flush window. The
+		// window is the durability exposure — an acked write younger than
+		// the last commit can die with a crash, which is exactly what the
+		// fleet's delta catch-up re-covers from the surviving replica.
+		s.wlog.Append(*logged, nil)
+		respond()
 	})
 }
 

@@ -44,6 +44,11 @@ const (
 	// Crash kills the process registered for Node at time At and, if
 	// RestartAt > At, restarts it then.
 	Crash
+	// FlushCrash is Crash landing mid-group-commit: a target with a
+	// write-ahead log loses power between append and flush completion,
+	// leaving a torn log tail its recovery must truncate (targets
+	// without a WAL just crash). Same fields as Crash.
+	FlushCrash
 )
 
 // String returns the script keyword for the kind.
@@ -61,6 +66,8 @@ func (k Kind) String() string {
 		return "partition"
 	case Crash:
 		return "crash"
+	case FlushCrash:
+		return "flushcrash"
 	}
 	return "?"
 }
@@ -96,7 +103,7 @@ type Schedule struct {
 func (s *Schedule) Validate() error {
 	for i, e := range s.Events {
 		switch e.Kind {
-		case Crash:
+		case Crash, FlushCrash:
 			if e.RestartAt != 0 && e.RestartAt <= e.At {
 				return fmt.Errorf("fault: event %d: restart %v not after crash %v", i, e.RestartAt, e.At)
 			}
@@ -139,6 +146,14 @@ func (s *Schedule) End() sim.Time {
 type CrashTarget interface {
 	Crash()
 	Restart()
+}
+
+// FlushCrasher is a crash target that can also die mid-group-commit
+// (core.Server with durability on). A FlushCrash event dispatches
+// CrashMidFlush when the target implements it and falls back to a
+// plain Crash otherwise.
+type FlushCrasher interface {
+	CrashMidFlush()
 }
 
 // Injector binds a schedule to one fabric: it owns the packet-fate hook
@@ -214,7 +229,7 @@ func (in *Injector) Arm() {
 	// of script order.
 	events := make([]Event, 0, len(in.sched.Events))
 	for _, e := range in.sched.Events {
-		if e.Kind == Crash {
+		if e.Kind == Crash || e.Kind == FlushCrash {
 			events = append(events, e)
 		}
 	}
@@ -227,7 +242,11 @@ func (in *Injector) Arm() {
 				in.missedTargets++
 				return
 			}
-			t.Crash()
+			if fc, ok := t.(FlushCrasher); ok && e.Kind == FlushCrash {
+				fc.CrashMidFlush()
+			} else {
+				t.Crash()
+			}
 			in.crashes++
 			in.injCrash.Inc()
 		})
@@ -281,7 +300,7 @@ func contains(set []wire.NodeID, id wire.NodeID) bool {
 func (in *Injector) fate(src, dst wire.NodeID, now sim.Time) wire.Fate {
 	corrupt := false
 	for _, e := range in.sched.Events {
-		if e.Kind == Crash || now < e.From || now >= e.Until {
+		if e.Kind == Crash || e.Kind == FlushCrash || now < e.From || now >= e.Until {
 			continue
 		}
 		switch e.Kind {

@@ -201,6 +201,46 @@ func TestCrashEventsFireAtScheduledInstants(t *testing.T) {
 	}
 }
 
+// flushRecorder is a recorder that also implements FlushCrasher.
+type flushRecorder struct {
+	recorder
+	midFlush []sim.Time
+}
+
+func (r *flushRecorder) CrashMidFlush() { r.midFlush = append(r.midFlush, r.eng.Now()) }
+
+func TestFlushCrashDispatchesMidFlush(t *testing.T) {
+	eng, net := newNet(t)
+	in := inject(t, net, `
+		flushcrash node=0 at=10us restart=20us
+		flushcrash node=2 at=5us
+	`)
+	// Node 0's target understands mid-flush crashes; node 2's is a plain
+	// CrashTarget and must fall back to Crash.
+	r0 := &flushRecorder{recorder: recorder{eng: eng}}
+	r2 := &recorder{eng: eng}
+	in.SetCrashTarget(0, r0)
+	in.SetCrashTarget(2, r2)
+	in.Arm()
+	eng.RunUntil(1 * sim.Millisecond)
+
+	if len(r0.midFlush) != 1 || r0.midFlush[0] != 10*sim.Microsecond {
+		t.Fatalf("node 0 mid-flush crashes = %v", r0.midFlush)
+	}
+	if len(r0.crashes) != 0 {
+		t.Fatalf("node 0 plain crashes = %v, want none", r0.crashes)
+	}
+	if len(r0.restarts) != 1 || r0.restarts[0] != 20*sim.Microsecond {
+		t.Fatalf("node 0 restarts = %v", r0.restarts)
+	}
+	if len(r2.crashes) != 1 {
+		t.Fatalf("node 2 fallback crash = %v", r2.crashes)
+	}
+	if in.Crashes() != 2 || in.Restarts() != 1 {
+		t.Fatalf("injector counts: crashes=%d restarts=%d", in.Crashes(), in.Restarts())
+	}
+}
+
 func TestCrashWithoutTargetIsCounted(t *testing.T) {
 	eng, net := newNet(t)
 	in := inject(t, net, "crash node=1 at=1us")

@@ -19,6 +19,10 @@ import (
 //	corrupt   link=1>0 from=2ms until=3ms rate=1 [both]
 //	partition a=1,2 b=0 from=4ms until=5ms [asym]
 //	crash     node=0 at=10ms restart=20ms
+//	flushcrash node=0 at=10ms restart=20ms
+//
+// flushcrash is crash landing mid-group-commit: a target with a
+// write-ahead log keeps a torn log tail for recovery to truncate.
 //
 // Durations take ns/us/ms/s suffixes ("0" needs none). Node IDs are the
 // cluster machine indices. The parsed schedule is validated before it is
@@ -62,6 +66,8 @@ func parseEvent(fields []string) (Event, error) {
 		e.Kind = Partition
 	case "crash":
 		e.Kind = Crash
+	case "flushcrash":
+		e.Kind = FlushCrash
 	default:
 		return e, fmt.Errorf("unknown event %q", fields[0])
 	}
@@ -137,7 +143,7 @@ func requireFields(e Event, seen map[string]bool) error {
 		return need("link", "from", "until", "rate")
 	case Partition:
 		return need("a", "b", "from", "until")
-	case Crash:
+	case Crash, FlushCrash:
 		return need("node", "at")
 	}
 	return nil

@@ -16,12 +16,13 @@ func TestParseScheduleFull(t *testing.T) {
 		corrupt   link=1>0 from=2ms until=3ms rate=1
 		partition a=1,2 b=0 from=4ms until=5ms asym
 		crash     node=0 at=10ms restart=20ms
+		flushcrash node=1 at=11ms restart=21ms
 	`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Events) != 6 {
-		t.Fatalf("parsed %d events, want 6", len(s.Events))
+	if len(s.Events) != 7 {
+		t.Fatalf("parsed %d events, want 7", len(s.Events))
 	}
 	e := s.Events[1]
 	if e.Kind != Blackout || e.Src != 1 || e.Dst != 0 || !e.Both ||
@@ -37,6 +38,10 @@ func TestParseScheduleFull(t *testing.T) {
 	c := s.Events[5]
 	if c.Kind != Crash || c.Node != 0 || c.At != 10*sim.Millisecond || c.RestartAt != 20*sim.Millisecond {
 		t.Fatalf("crash parsed as %+v", c)
+	}
+	fc := s.Events[6]
+	if fc.Kind != FlushCrash || fc.Node != 1 || fc.At != 11*sim.Millisecond || fc.RestartAt != 21*sim.Millisecond {
+		t.Fatalf("flushcrash parsed as %+v", fc)
 	}
 }
 
@@ -77,6 +82,8 @@ func TestParseScheduleErrors(t *testing.T) {
 		"crash node=0 at=10ms restart=5ms",      // restart before crash
 		"crash node=-1 at=10ms",                 // negative node
 		"crash at=10ms",                         // missing node
+		"flushcrash node=0 at=10ms restart=5ms", // restart before flushcrash
+		"flushcrash node=0",                     // missing at
 	}
 	for _, script := range cases {
 		if _, err := ParseSchedule(script); err == nil {
@@ -105,6 +112,7 @@ func FuzzParseSchedule(f *testing.F) {
 	f.Add("corrupt link=1>0 from=2ms until=3ms rate=1")
 	f.Add("partition a=1,2 b=0 from=4ms until=5ms asym")
 	f.Add("crash node=0 at=10ms restart=20ms")
+	f.Add("flushcrash node=0 at=10ms restart=20ms")
 	f.Add("# comment\n\ncrash node=0 at=1us")
 	f.Add("loss from==0 until=1ms rate=0..5")
 	f.Fuzz(func(t *testing.T, script string) {

@@ -161,11 +161,22 @@ type Deployment struct {
 	// opens channels on the same pool.
 	endpoints map[endpointKey]*mux.Endpoint
 
+	// Shard crash recovery (recovery.go): in-progress catch-ups by
+	// shard id, the last completed one, and the experiment hook.
+	recs         map[int]*recovery
+	lastRecovery RecoveryResult
+	onRecovered  func(RecoveryResult)
+
 	tel        *telemetry.Sink
 	migKeys    *telemetry.Counter
 	migRounds  *telemetry.Counter
 	migActive  *telemetry.Gauge
 	migPending *telemetry.Gauge
+	recKeys    *telemetry.Counter
+	recRounds  *telemetry.Counter
+	recActive  *telemetry.Gauge
+	recPending *telemetry.Gauge
+	recTime    *telemetry.Gauge
 }
 
 // NewDeployment builds a fleet with one HERD server per machine. All
@@ -184,6 +195,11 @@ func NewDeployment(machines []*cluster.Machine, cfg Config) (*Deployment, error)
 	d.migRounds = d.tel.Counter("fleet.migration.rounds")
 	d.migActive = d.tel.Gauge("fleet.migration.active")
 	d.migPending = d.tel.Gauge("fleet.migration.pending")
+	d.recKeys = d.tel.Counter("fleet.recovery.keys")
+	d.recRounds = d.tel.Counter("fleet.recovery.rounds")
+	d.recActive = d.tel.Gauge("fleet.recovery.active")
+	d.recPending = d.tel.Gauge("fleet.recovery.pending")
+	d.recTime = d.tel.Gauge("fleet.recovery.time")
 	d.ring = NewRing(core.PlacementSeed(machines[0]), cfg.VirtualNodes)
 	for _, m := range machines {
 		srv, err := core.NewServer(m, cfg.Herd)
@@ -191,8 +207,10 @@ func NewDeployment(machines []*cluster.Machine, cfg Config) (*Deployment, error)
 			return nil, err
 		}
 		id := len(d.shards)
-		d.shards = append(d.shards, &shard{id: id, machine: m, srv: srv, live: true})
+		sh := &shard{id: id, machine: m, srv: srv, live: true}
+		d.shards = append(d.shards, sh)
 		d.ring = d.ring.WithShard(id)
+		d.watchRecovery(sh)
 	}
 	return d, nil
 }
@@ -318,6 +336,7 @@ func (d *Deployment) AddShard(m *cluster.Machine, done func()) (int, error) {
 	id := len(d.shards)
 	sh := &shard{id: id, machine: m, srv: srv, live: true}
 	d.shards = append(d.shards, sh)
+	d.watchRecovery(sh)
 	for _, c := range d.clients {
 		if err := c.attach(sh); err != nil {
 			return 0, err

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/core"
+	"herdkv/internal/kv"
+	"herdkv/internal/mica"
+	"herdkv/internal/sim"
+)
+
+func durableFleetConfig() Config {
+	cfg := testConfig()
+	cfg.Herd.Durability = core.DurabilityGroupCommit
+	return cfg
+}
+
+// newFleetWith is newFleet with an explicit config.
+func newFleetWith(t *testing.T, cfg Config, nShards, nClients int, seed int64) (*cluster.Cluster, *Deployment, []*Client) {
+	t.Helper()
+	cl := cluster.New(cluster.Apt(), nShards+nClients+1, seed)
+	machines := make([]*cluster.Machine, nShards)
+	for i := range machines {
+		machines[i] = cl.Machine(i)
+	}
+	d, err := NewDeployment(machines, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		clients[i], err = d.ConnectClient(cl.Machine(nShards + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cl, d, clients
+}
+
+// shardHolds reads key straight from shard id's partitions.
+func shardHolds(d *Deployment, id int, key kv.Key) ([]byte, bool) {
+	return d.Server(id).Partition(mica.Partition(key, d.cfg.Herd.NS)).Get(key)
+}
+
+// TestWarmRejoinDeltaCatchup: a durable shard crashes, the survivor
+// takes writes during the outage, and the rejoin replays its own log
+// then pulls only the delta — not the full replica set — from the
+// survivor.
+func TestWarmRejoinDeltaCatchup(t *testing.T) {
+	cl, d, _ := newFleetWith(t, durableFleetConfig(), 2, 0, 3)
+	const old, late, delta = 32, 8, 4
+	val := func(tag byte, i uint64) []byte { return []byte{tag, byte(i)} }
+	// Old keys at t=0; a later durable batch moves shard 0's
+	// last-durable instant forward so the catch-up window (last durable
+	// minus the group-commit guard) excludes the old keys.
+	for i := uint64(0); i < old; i++ {
+		if err := d.Preload(kv.FromUint64(i), val('o', i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Eng.At(50*sim.Microsecond, func() {
+		for i := uint64(old); i < old+late; i++ {
+			if err := d.Preload(kv.FromUint64(i), val('l', i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	cl.Eng.At(100*sim.Microsecond, func() { d.Server(0).Crash() })
+	// Outage writes land on the survivor only.
+	cl.Eng.At(110*sim.Microsecond, func() {
+		for i := uint64(0); i < delta; i++ {
+			if err := d.Server(1).Preload(kv.FromUint64(i), val('d', i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	cl.Eng.At(120*sim.Microsecond, func() { d.Server(0).Restart() })
+	cl.Eng.Run()
+
+	rec := d.LastRecovery()
+	if rec.ShardID != 0 || !rec.Warm {
+		t.Fatalf("recovery = %+v, want a warm one for shard 0", rec)
+	}
+	if rec.Replayed == 0 || rec.Duration <= 0 {
+		t.Fatalf("recovery = %+v, want replayed records and a real duration", rec)
+	}
+	if rec.CatchupKeys < delta || rec.CatchupKeys >= old+late+delta {
+		t.Fatalf("catch-up copied %d keys, want a delta in [%d, %d)", rec.CatchupKeys, delta, old+late+delta)
+	}
+	// The rejoined shard holds every key — old ones from its own log,
+	// outage writes from the survivor's delta.
+	for i := uint64(0); i < old+late; i++ {
+		want := val('o', i)
+		if i >= old {
+			want = val('l', i)
+		}
+		if i < delta {
+			want = val('d', i)
+		}
+		if v, ok := shardHolds(d, 0, kv.FromUint64(i)); !ok || !bytes.Equal(v, want) {
+			t.Fatalf("key %d on rejoined shard: value=%v ok=%v, want %v", i, v, ok, want)
+		}
+	}
+}
+
+// TestColdRejoinFullRecopy: without durability a restarted shard is
+// empty and the fleet re-replicates its whole replica set.
+func TestColdRejoinFullRecopy(t *testing.T) {
+	cl, d, _ := newFleetWith(t, testConfig(), 2, 0, 3)
+	const keys = 64
+	for i := uint64(0); i < keys; i++ {
+		if err := d.Preload(kv.FromUint64(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Eng.At(10*sim.Microsecond, func() { d.Server(0).Crash() })
+	cl.Eng.At(20*sim.Microsecond, func() { d.Server(0).Restart() })
+	cl.Eng.Run()
+
+	rec := d.LastRecovery()
+	if rec.Warm || rec.ShardID != 0 {
+		t.Fatalf("recovery = %+v, want a cold one for shard 0", rec)
+	}
+	if rec.CatchupKeys != keys {
+		t.Fatalf("cold catch-up copied %d keys, want all %d", rec.CatchupKeys, keys)
+	}
+	for i := uint64(0); i < keys; i++ {
+		if v, ok := shardHolds(d, 0, kv.FromUint64(i)); !ok || !bytes.Equal(v, []byte{byte(i)}) {
+			t.Fatalf("key %d on recopied shard: value=%v ok=%v", i, v, ok)
+		}
+	}
+}
+
+// TestRecoveryAbortsAndRestartsOnSecondCrash: a shard that dies again
+// mid-catch-up aborts cleanly; its next restart recovers from scratch.
+func TestRecoveryAbortsAndRestartsOnSecondCrash(t *testing.T) {
+	cfg := durableFleetConfig()
+	cfg.MigrationInterval = 20 * sim.Microsecond // slow steps: crash lands mid-catch-up
+	cl, d, _ := newFleetWith(t, cfg, 2, 0, 3)
+	const keys = 256
+	for i := uint64(0); i < keys; i++ {
+		if err := d.Preload(kv.FromUint64(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Eng.At(20*sim.Microsecond, func() { d.Server(0).Crash() })
+	cl.Eng.At(30*sim.Microsecond, func() { d.Server(0).Restart() })
+	cl.Eng.At(70*sim.Microsecond, func() { d.Server(0).Crash() })
+	cl.Eng.At(200*sim.Microsecond, func() { d.Server(0).Restart() })
+	cl.Eng.Run()
+
+	if d.RecoveryActive() {
+		t.Fatal("a recovery is still pending after drain")
+	}
+	rec := d.LastRecovery()
+	if rec.ShardID != 0 || !rec.Warm {
+		t.Fatalf("final recovery = %+v, want warm shard 0", rec)
+	}
+	for i := uint64(0); i < keys; i++ {
+		if v, ok := shardHolds(d, 0, kv.FromUint64(i)); !ok || !bytes.Equal(v, []byte{byte(i)}) {
+			t.Fatalf("key %d after double crash: value=%v ok=%v", i, v, ok)
+		}
+	}
+}
