@@ -76,12 +76,21 @@ type pendingOp struct {
 	// an earlier attempt finds a stale generation and does nothing.
 	// Without it, a completion racing a reconnect-reissue would leave
 	// two live timer chains retransmitting duplicates of the same op.
+	// The counter survives recycling (newOp does not reset it), so a
+	// timer holding a recycled op also sees a dead generation.
 	attempt int
+
+	// buf backs the op's encoded request payload; requests always fit
+	// one slot. Living inside the pooled op, it makes issue (and every
+	// retry retransmission, which re-posts payload) allocation-free.
+	buf [SlotSize]byte
 
 	trace *telemetry.Trace
 }
 
 // kindName returns the trace name for an operation kind.
+//
+//herd:hotpath
 func (k opKind) kindName() string {
 	switch k {
 	case opPut:
@@ -121,6 +130,11 @@ type Client struct {
 	// by an outstanding op (one that stalled on retries while younger
 	// ops completed around it). They issue as occupants resolve.
 	slotWait [][]*pendingOp
+
+	// opFree is the pendingOp recycling pool: terminally resolved ops
+	// return here and back the next submissions, so the client's
+	// steady-state issue path allocates nothing.
+	opFree []*pendingOp
 
 	issued, completed, retried uint64
 	dupResponses               uint64
@@ -288,12 +302,53 @@ func (c *Client) Inflight() int { return c.inflight }
 func (c *Client) Issued() uint64    { return c.issued }
 func (c *Client) Completed() uint64 { return c.completed }
 
+// newOp returns a pendingOp from the recycling pool (or a fresh one),
+// initialized for a new operation. Every field resets except attempt,
+// which stays monotonic so timers armed for the op's previous life see
+// a dead generation.
+func (c *Client) newOp(kind opKind, key kv.Key, cb func(Result)) *pendingOp {
+	var op *pendingOp
+	if n := len(c.opFree); n > 0 {
+		op = c.opFree[n-1]
+		c.opFree = c.opFree[:n-1]
+	} else {
+		op = new(pendingOp)
+	}
+	op.key = key
+	op.kind = kind
+	op.value = op.value[:0]
+	op.issuedAt = 0
+	op.cb = cb
+	op.began = false
+	op.begun = 0
+	op.deadline = 0
+	op.proc = 0
+	op.r = 0
+	op.payload = nil
+	op.slotOff = 0
+	op.retries = 0
+	op.done = false
+	op.trace = nil
+	return op
+}
+
+// recycleOp returns a terminally resolved op (done, callback already
+// run, removed from every queue) to the pool. The attempt bump kills
+// any timer or delayed-resubmit closure still holding the pointer.
+func (c *Client) recycleOp(op *pendingOp) {
+	op.attempt++
+	op.cb = nil
+	op.payload = nil
+	op.trace = nil
+	c.opFree = append(c.opFree, op)
+}
+
 // Get issues a GET for key; cb runs when the response arrives.
 func (c *Client) Get(key kv.Key, cb func(Result)) error {
 	if key.IsZero() {
 		return mica.ErrZeroKey
 	}
-	c.submit(&pendingOp{key: key, kind: opGet, cb: cb})
+	c.submit(c.newOp(opGet, key, cb))
 	return nil
 }
 
@@ -303,7 +358,7 @@ func (c *Client) Delete(key kv.Key, cb func(Result)) error {
 	if key.IsZero() {
 		return mica.ErrZeroKey
 	}
-	c.submit(&pendingOp{key: key, kind: opDelete, cb: cb})
+	c.submit(c.newOp(opDelete, key, cb))
 	return nil
 }
 
@@ -320,15 +375,19 @@ func (c *Client) Put(key kv.Key, value []byte, cb func(Result)) error {
 	if len(value) > mica.MaxValueSize {
 		return mica.ErrValueTooLarge
 	}
-	v := make([]byte, len(value))
-	copy(v, value)
-	c.submit(&pendingOp{key: key, kind: opPut, value: v, cb: cb})
+	op := c.newOp(opPut, key, cb)
+	// Copy into the pooled op's buffer (the caller may reuse value); a
+	// recycled op's capacity makes the copy allocation-free.
+	op.value = append(op.value, value...)
+	c.submit(op)
 	return nil
 }
 
 // window returns the effective request window: Config.Window when the
 // AIMD controller is disabled, otherwise the integer part of cwnd
 // clamped to [1, Config.Window].
+//
+//herd:hotpath
 func (c *Client) window() int {
 	if !c.srv.cfg.AdaptiveWindow {
 		return c.srv.cfg.Window
@@ -428,41 +487,7 @@ func (c *Client) issue(op *pendingOp) {
 	// Build the request so it ends exactly at the slot boundary: the
 	// keyhash lands last under left-to-right DMA ordering.
 	slotOff := cfg.SlotIndex(proc, c.id, r) * SlotSize
-	var payload []byte
-	if cfg.UseSendRequests {
-		// SEND-mode tail: [client 2][seq 2][LEN 2][keyhash 16].
-		vlen := uint16(0)
-		var val []byte
-		switch op.kind {
-		case opDelete:
-			vlen = lenDelete
-		case opPut:
-			vlen = uint16(len(op.value))
-			val = op.value
-		}
-		payload = make([]byte, len(val)+sendReqTail)
-		copy(payload, val)
-		p := len(val)
-		binary.LittleEndian.PutUint16(payload[p:], uint16(c.id))
-		binary.LittleEndian.PutUint16(payload[p+2:], uint16(r%cfg.Window))
-		binary.LittleEndian.PutUint16(payload[p+4:], vlen)
-		copy(payload[p+6:], op.key[:])
-	} else {
-		switch op.kind {
-		case opGet:
-			payload = make([]byte, kv.KeySize)
-			copy(payload, op.key[:])
-		case opDelete:
-			payload = make([]byte, 2+kv.KeySize)
-			binary.LittleEndian.PutUint16(payload, lenDelete)
-			copy(payload[2:], op.key[:])
-		default: // opPut
-			payload = make([]byte, len(op.value)+2+kv.KeySize)
-			copy(payload, op.value)
-			binary.LittleEndian.PutUint16(payload[len(op.value):], uint16(len(op.value)))
-			copy(payload[len(op.value)+2:], op.key[:])
-		}
-	}
+	payload := c.encodeRequest(op, r)
 	op.proc = proc
 	op.r = r
 	op.payload = payload
@@ -495,6 +520,53 @@ func (c *Client) issue(op *pendingOp) {
 	}
 	c.writeRequest(op)
 	c.armRetry(op)
+}
+
+// encodeRequest builds op's request bytes in op.buf and returns the
+// encoded payload (aliasing op.buf, which outlives every
+// retransmission). WRITE/DC layouts end at the slot boundary with the
+// keyhash last; SEND mode appends the [client 2][seq 2][LEN 2]
+// [keyhash 16] tail instead.
+//
+//herd:hotpath
+func (c *Client) encodeRequest(op *pendingOp, r int) []byte {
+	cfg := &c.srv.cfg
+	if cfg.UseSendRequests {
+		vlen := uint16(0)
+		var val []byte
+		switch op.kind {
+		case opDelete:
+			vlen = lenDelete
+		case opPut:
+			vlen = uint16(len(op.value))
+			val = op.value
+		}
+		payload := op.buf[:len(val)+sendReqTail]
+		copy(payload, val)
+		p := len(val)
+		binary.LittleEndian.PutUint16(payload[p:], uint16(c.id))
+		binary.LittleEndian.PutUint16(payload[p+2:], uint16(r%cfg.Window))
+		binary.LittleEndian.PutUint16(payload[p+4:], vlen)
+		copy(payload[p+6:], op.key[:])
+		return payload
+	}
+	switch op.kind {
+	case opGet:
+		payload := op.buf[:kv.KeySize]
+		copy(payload, op.key[:])
+		return payload
+	case opDelete:
+		payload := op.buf[:2+kv.KeySize]
+		binary.LittleEndian.PutUint16(payload, lenDelete)
+		copy(payload[2:], op.key[:])
+		return payload
+	default: // opPut
+		payload := op.buf[:len(op.value)+2+kv.KeySize]
+		copy(payload, op.value)
+		binary.LittleEndian.PutUint16(payload[len(op.value):], uint16(len(op.value)))
+		copy(payload[len(op.value)+2:], op.key[:])
+		return payload
+	}
 }
 
 // writeRequest posts (or re-posts) op's request: a WRITE into the
@@ -650,6 +722,7 @@ func (c *Client) failOp(op *pendingOp) {
 			Err:     ErrTimedOut,
 		})
 	}
+	c.recycleOp(op)
 }
 
 // reconnCtrlBytes is the wire size of a handshake control packet (QP
@@ -737,22 +810,37 @@ func (c *Client) finishReconnect(at sim.Time) {
 	}
 }
 
+// parseRespHeader validates a response's status header and extracts
+// the routing fields. ok is false for damaged responses: injected
+// corruption zeroes the packet tail and scrambles the rest, so the
+// status byte cannot hold a valid code — and a busy pushback must
+// carry its fixed-size retry-after hint, so anything claiming busy
+// without one is damage too.
+//
+//herd:hotpath
+func parseRespHeader(data []byte) (status byte, rMod uint16, ok bool) {
+	if len(data) < respHdr {
+		return 0, 0, false
+	}
+	switch s := data[0]; {
+	case s == statusOK || s == statusNotFound:
+	case s == statusBusy &&
+		int(binary.LittleEndian.Uint16(data[1:3])) == busyHintBytes &&
+		len(data) >= respHdr+busyHintBytes:
+	default:
+		return 0, 0, false
+	}
+	return data[0], binary.LittleEndian.Uint16(data[3:5]), true
+}
+
 func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	if comp.Flushed || len(comp.Data) < respHdr {
 		return
 	}
-	// A response damaged in flight is structurally detectable: injected
-	// corruption zeroes the packet tail and scrambles the rest, so the
-	// status byte cannot hold a valid code. Reject before matching — a
-	// corrupt rMod must not complete (or fail) the wrong op. A busy
-	// pushback additionally carries a fixed-size retry-after hint;
-	// anything claiming busy without it is damage too.
-	switch s := comp.Data[0]; {
-	case s == statusOK || s == statusNotFound:
-	case s == statusBusy &&
-		int(binary.LittleEndian.Uint16(comp.Data[1:3])) == busyHintBytes &&
-		len(comp.Data) >= respHdr+busyHintBytes:
-	default:
+	// Reject damaged responses before matching — a corrupt rMod must not
+	// complete (or fail) the wrong op.
+	status, rMod, ok := parseRespHeader(comp.Data)
+	if !ok {
 		c.corruptResponses++
 		c.telCorrupt.Inc()
 		return
@@ -760,7 +848,6 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	// Match the response to its operation by the echoed window-slot
 	// sequence; a response whose slot has no outstanding op is a
 	// duplicate from a retried request and is discarded.
-	rMod := binary.LittleEndian.Uint16(comp.Data[3:5])
 	idx := -1
 	for i, op := range c.perProc[proc] {
 		if uint16(op.r%c.srv.cfg.Window) == rMod {
@@ -775,7 +862,7 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	}
 	op := c.perProc[proc][idx]
 	c.perProc[proc] = append(c.perProc[proc][:idx], c.perProc[proc][idx+1:]...)
-	if comp.Data[0] == statusBusy {
+	if status == statusBusy {
 		hint := sim.Time(binary.LittleEndian.Uint32(comp.Data[respHdr:])) * sim.Nanosecond
 		c.handleBusy(op, hint)
 		return
@@ -802,7 +889,6 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	case opDelete:
 		c.latDel.RecordTime(res.Latency)
 	}
-	status := comp.Data[0]
 	res.OK = status == statusOK
 	res.Status = kv.StatusMiss
 	if res.OK {
@@ -821,6 +907,7 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	if op.cb != nil {
 		op.cb(res)
 	}
+	c.recycleOp(op)
 }
 
 // handleBusy processes a StatusBusy pushback: the server shed the
@@ -852,8 +939,13 @@ func (c *Client) handleBusy(op *pendingOp, hint sim.Time) {
 		return
 	}
 	eng := c.machine.Verbs.NIC().Engine()
+	// The resubmit closure checks the attempt generation, not just done:
+	// if the op fails terminally and is recycled into a new operation
+	// before the delay elapses, done is false again but the generation
+	// has moved on.
+	gen := op.attempt
 	eng.After(delay, func() {
-		if op.done {
+		if op.done || op.attempt != gen {
 			return
 		}
 		c.submit(op)
@@ -878,4 +970,5 @@ func (c *Client) failBusy(op *pendingOp, now sim.Time) {
 			Err:     ErrOverloaded,
 		})
 	}
+	c.recycleOp(op)
 }

@@ -271,6 +271,8 @@ func (c Config) RegionSize() int { return c.NS * c.MaxClients * c.Window * SlotS
 
 // SlotIndex computes the request slot for server process s, client c,
 // request sequence r — the paper's s*(W*NC) + (c*W) + r mod W.
+//
+//herd:hotpath
 func (c Config) SlotIndex(s, client, r int) int {
 	return s*(c.Window*c.MaxClients) + client*c.Window + r%c.Window
 }
@@ -321,6 +323,13 @@ type Server struct {
 	respBuf   [][]verbs.SendWR
 	respArmed []bool
 
+	// respScratch[proc] is the process's preallocated response build
+	// buffer. Safe whenever the response is posted before the building
+	// callback returns (verbs copies WR data at post time); responses
+	// that outlive their callback — batched doorbells, sync-durability
+	// acks — get fresh allocations instead (see respFor).
+	respScratch [][]byte
+
 	// Admission control (Config.AdmissionLimit > 0): per-process count
 	// of admitted requests awaiting CPU service, and an EWMA of
 	// per-request service time. Together they yield the StatusBusy
@@ -369,6 +378,10 @@ func NewServer(m *cluster.Machine, cfg Config) (*Server, error) {
 	s.ucByClient = make([]*verbs.QP, cfg.MaxClients)
 	s.queued = make([]int, cfg.NS)
 	s.svcEWMA = make([]sim.Time, cfg.NS)
+	s.respScratch = make([][]byte, cfg.NS)
+	for i := range s.respScratch {
+		s.respScratch[i] = make([]byte, respHdr+mica.MaxValueSize)
+	}
 	s.telRejected = m.Verbs.Telemetry().Counter("herd.requests.rejected")
 	s.telShed = m.Verbs.Telemetry().Counter("herd.shed")
 	for i := range s.parts {
@@ -789,6 +802,8 @@ func (s *Server) serve(proc, client, slot int) {
 }
 
 // overloaded reports whether process proc's admission queue is full.
+//
+//herd:hotpath
 func (s *Server) overloaded(proc int) bool {
 	return s.cfg.AdmissionLimit > 0 && s.queued[proc] >= s.cfg.AdmissionLimit
 }
@@ -796,6 +811,8 @@ func (s *Server) overloaded(proc int) bool {
 // retryAfterHint estimates how long process proc's queue takes to
 // drain: depth x service-time EWMA, floored (a cold EWMA must still
 // space retries out) and capped.
+//
+//herd:hotpath
 func (s *Server) retryAfterHint(proc int) sim.Time {
 	ewma := s.svcEWMA[proc]
 	if ewma <= 0 {
@@ -822,10 +839,9 @@ func (s *Server) shedRequest(proc, client int, rMod uint16, tr *telemetry.Trace)
 	tr.Mark("shed", now)
 	tr.SetPrefix("resp.")
 	hintNS := uint32(s.retryAfterHint(proc) / sim.Nanosecond)
-	resp := make([]byte, respHdr+busyHintBytes)
-	resp[0] = statusBusy
-	binary.LittleEndian.PutUint16(resp[1:3], busyHintBytes)
-	binary.LittleEndian.PutUint16(resp[3:5], rMod)
+	// Busy pushbacks always post synchronously (never batched, never
+	// deferred behind the WAL), so the process scratch is safe here.
+	resp := encodeRespHeader(s.respScratch[proc], statusBusy, busyHintBytes, rMod)
 	binary.LittleEndian.PutUint32(resp[respHdr:], hintNS)
 	dest := s.clientQP(client, proc)
 	if dest == nil {
@@ -842,6 +858,8 @@ func (s *Server) shedRequest(proc, client int, rMod uint16, tr *telemetry.Trace)
 
 // noteService folds one request's CPU service time into proc's EWMA
 // (alpha 1/8; the first sample seeds it directly).
+//
+//herd:hotpath
 func (s *Server) noteService(proc int, service sim.Time) {
 	if s.svcEWMA[proc] == 0 {
 		s.svcEWMA[proc] = service
@@ -854,6 +872,8 @@ func (s *Server) noteService(proc int, service sim.Time) {
 // zero (GET), the DELETE sentinel, or a PUT length that fits both the
 // item-size bound and the slot. The check is how corrupt-but-delivered
 // requests are rejected (the paper leaves integrity to the application).
+//
+//herd:hotpath
 func validLen(vlen int) bool {
 	return vlen == 0 || vlen == lenDelete ||
 		(vlen <= mica.MaxValueSize && vlen <= SlotSize-lenTail)
@@ -867,10 +887,40 @@ func (s *Server) reject() {
 
 // zeroTail clears a slot's LEN + keyhash so a rejected slot is not
 // re-served by a later overlapping landing.
+//
+//herd:hotpath
 func zeroTail(raw []byte) {
 	for i := SlotSize - lenTail; i < SlotSize; i++ {
 		raw[i] = 0
 	}
+}
+
+// encodeRespHeader writes a response header into dst and returns the
+// framed response dst[:respHdr+vlen]; the caller fills the value bytes
+// after the header. dst must have capacity for the full response.
+//
+//herd:hotpath
+func encodeRespHeader(dst []byte, status byte, vlen int, rMod uint16) []byte {
+	h := dst[:respHdr+vlen]
+	h[0] = status
+	binary.LittleEndian.PutUint16(h[1:3], uint16(vlen))
+	binary.LittleEndian.PutUint16(h[3:5], rMod)
+	return h
+}
+
+// respFor returns the buffer a vlen-byte response for proc is built
+// in: the process's preallocated scratch when the response posts
+// before the building callback returns (the default path — verbs
+// copies WR data at post time), a fresh allocation when it must
+// outlive the callback. Batched-doorbell responses sit in respBuf
+// until the flush, and sync-durability acks wait for the group
+// commit; in both cases a later request on the same process would
+// overwrite the scratch before the bytes were read.
+func (s *Server) respFor(proc, vlen int) []byte {
+	if s.cfg.ResponseBatch > 1 || s.cfg.Durability == DurabilitySync {
+		return make([]byte, respHdr+vlen)
+	}
+	return s.respScratch[proc]
 }
 
 // execute runs one request on its process's core: poll/RECV handling,
@@ -906,13 +956,6 @@ func (s *Server) execute(req request) {
 		req.trace.SetPrefix("resp.")
 		part := s.parts[req.proc]
 		var resp []byte
-		hdr := func(status byte, vlen int) []byte {
-			h := make([]byte, respHdr+vlen)
-			h[0] = status
-			binary.LittleEndian.PutUint16(h[1:3], uint16(vlen))
-			binary.LittleEndian.PutUint16(h[3:5], req.rMod)
-			return h
-		}
 		// logged is non-nil when this request mutated state that the WAL
 		// must record (a successful PUT or DELETE under durability).
 		var logged *wal.Record
@@ -932,7 +975,7 @@ func (s *Server) execute(req request) {
 					Epoch: epoch,
 				}
 			}
-			resp = hdr(status, 0)
+			resp = encodeRespHeader(s.respFor(req.proc, 0), status, 0, req.rMod)
 		case isDelete:
 			s.deletes++
 			status := byte(statusNotFound)
@@ -942,16 +985,16 @@ func (s *Server) execute(req request) {
 					logged = &wal.Record{Op: wal.OpDelete, Key: req.key, Epoch: epoch}
 				}
 			}
-			resp = hdr(status, 0)
+			resp = encodeRespHeader(s.respFor(req.proc, 0), status, 0, req.rMod)
 		default:
 			v, ok := part.Get(req.key)
 			s.gets++
 			if ok {
 				s.getHits++
-				resp = hdr(statusOK, len(v))
+				resp = encodeRespHeader(s.respFor(req.proc, len(v)), statusOK, len(v), req.rMod)
 				copy(resp[respHdr:], v)
 			} else {
-				resp = hdr(statusNotFound, 0)
+				resp = encodeRespHeader(s.respFor(req.proc, 0), statusNotFound, 0, req.rMod)
 			}
 		}
 

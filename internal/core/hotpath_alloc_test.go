@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"herdkv/internal/kv"
+	"herdkv/internal/lint/hotalloc/hotgate"
+	"herdkv/internal/mica"
+	"herdkv/internal/sim"
+)
+
+// TestHotpathAllocFree gates this package's //herd:hotpath functions
+// at 0 allocs/op: the request encode and response parse/build kernels
+// on both sides of the wire, plus the admission-control arithmetic.
+// Request payloads build into the pooled op's slot-sized buffer and
+// responses into the per-process scratch, so the steady-state data
+// path never touches the heap.
+func TestHotpathAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	s := &Server{cfg: cfg, queued: make([]int, cfg.NS), svcEWMA: make([]sim.Time, cfg.NS)}
+	c := &Client{srv: s, cwnd: float64(cfg.Window)}
+	op := &pendingOp{key: kv.FromUint64(9), kind: opPut}
+	op.value = append(op.value, []byte("payload-bytes")...)
+	respBuf := make([]byte, respHdr+mica.MaxValueSize)
+	encodeRespHeader(respBuf, statusOK, 4, 3) // give parseRespHeader a valid header
+	var slotRaw [SlotSize]byte
+	hotgate.Check(t, ".", map[string]func(){
+		"opKind.kindName":       func() { _ = opPut.kindName() },
+		"Client.window":         func() { _ = c.window() },
+		"Client.encodeRequest":  func() { _ = c.encodeRequest(op, 5) },
+		"parseRespHeader":       func() { _, _, _ = parseRespHeader(respBuf[:respHdr]) },
+		"Config.SlotIndex":      func() { _ = cfg.SlotIndex(1, 2, 3) },
+		"Server.overloaded":     func() { _ = s.overloaded(0) },
+		"Server.retryAfterHint": func() { _ = s.retryAfterHint(0) },
+		"Server.noteService":    func() { s.noteService(0, 100*sim.Nanosecond) },
+		"validLen":              func() { _ = validLen(128) },
+		"zeroTail":              func() { zeroTail(slotRaw[:]) },
+		"encodeRespHeader":      func() { _ = encodeRespHeader(respBuf, statusOK, 8, 1) },
+	})
+}

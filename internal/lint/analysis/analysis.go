@@ -43,29 +43,67 @@ type Pass struct {
 	// normally call Reportf instead.
 	Report func(Diagnostic)
 
-	// allowed maps file -> lines carrying (or immediately following) a
-	// `//lint:allow` comment naming this analyzer. Built lazily.
-	allowed map[*token.File]map[int]bool
+	// allowed maps file -> line -> the `//lint:allow` comments naming
+	// this analyzer that cover (their own line or the line above) that
+	// line. Built lazily.
+	allowed map[*token.File]map[int][]token.Pos
+
+	// usedAllows records the positions of allow comments that actually
+	// suppressed a diagnostic in this pass — the input to the driver's
+	// stale-allow audit.
+	usedAllows map[token.Pos]bool
+}
+
+// TextEdit replaces [Pos, End) with NewText. Pos == End inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// SuggestedFix is one machine-applicable resolution of a diagnostic,
+// applied by `herdlint -fix`.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
 }
 
 // Diagnostic is one finding at a position.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
 }
 
 // Reportf reports a formatted diagnostic at pos, unless the line is
 // suppressed by a `//lint:allow <analyzer>` comment on the same line or
 // the line above.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
-	if p.suppressed(pos) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportFixf is Reportf with a suggested fix attached: edits replaces
+// [pos, end) when the diagnostic survives suppression.
+func (p *Pass) ReportFixf(pos, end token.Pos, newText []byte, fixMsg, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Pos:     pos,
+		Message: fmt.Sprintf(format, args...),
+		SuggestedFixes: []SuggestedFix{{
+			Message:   fixMsg,
+			TextEdits: []TextEdit{{Pos: pos, End: end, NewText: newText}},
+		}},
+	})
+}
+
+func (p *Pass) report(d Diagnostic) {
+	if p.suppressed(d.Pos) {
 		return
 	}
-	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	p.Report(d)
 }
 
 // suppressed reports whether pos falls on a line covered by an allow
-// comment for this analyzer.
+// comment for this analyzer, recording which comments fired.
 func (p *Pass) suppressed(pos token.Pos) bool {
 	tf := p.Fset.File(pos)
 	if tf == nil {
@@ -74,11 +112,25 @@ func (p *Pass) suppressed(pos token.Pos) bool {
 	if p.allowed == nil {
 		p.buildAllowed()
 	}
-	return p.allowed[tf][tf.Line(pos)]
+	comments := p.allowed[tf][tf.Line(pos)]
+	if len(comments) == 0 {
+		return false
+	}
+	if p.usedAllows == nil {
+		p.usedAllows = make(map[token.Pos]bool)
+	}
+	for _, c := range comments {
+		p.usedAllows[c] = true
+	}
+	return true
 }
 
+// UsedAllows returns the positions of the allow comments that
+// suppressed at least one diagnostic during this pass.
+func (p *Pass) UsedAllows() map[token.Pos]bool { return p.usedAllows }
+
 func (p *Pass) buildAllowed() {
-	p.allowed = make(map[*token.File]map[int]bool)
+	p.allowed = make(map[*token.File]map[int][]token.Pos)
 	for _, f := range p.Files {
 		tf := p.Fset.File(f.Pos())
 		if tf == nil {
@@ -92,17 +144,66 @@ func (p *Pass) buildAllowed() {
 					continue
 				}
 				if lines == nil {
-					lines = make(map[int]bool)
+					lines = make(map[int][]token.Pos)
 					p.allowed[tf] = lines
 				}
 				// The comment covers its own line (trailing form) and
 				// the next line (preceding form).
 				ln := tf.Line(c.End())
-				lines[ln] = true
-				lines[ln+1] = true
+				lines[ln] = append(lines[ln], c.Pos())
+				lines[ln+1] = append(lines[ln+1], c.Pos())
 			}
 		}
 	}
+}
+
+// AllowIn is suppression for analyzers that scan files outside the
+// pass (docdrift's whole-tree sweep): it reports whether an allow
+// comment for this analyzer in f covers pos's line, and marks it used
+// for the stale-allow audit. f must have been parsed with p.Fset.
+func (p *Pass) AllowIn(f *ast.File, pos token.Pos) bool {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := tf.Line(pos)
+	for _, al := range Allows([]*ast.File{f}) {
+		if al.Name != p.Analyzer.Name && al.Name != "all" {
+			continue
+		}
+		ln := tf.Line(al.End)
+		if line == ln || line == ln+1 {
+			if p.usedAllows == nil {
+				p.usedAllows = make(map[token.Pos]bool)
+			}
+			p.usedAllows[al.Pos] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Allow is one `//lint:allow` comment found in a package.
+type Allow struct {
+	Pos  token.Pos // start of the comment
+	End  token.Pos
+	Name string // analyzer named by the comment ("all" allowed)
+}
+
+// Allows enumerates every `//lint:allow` comment in files, for the
+// driver's stale-allow audit.
+func Allows(files []*ast.File) []Allow {
+	var out []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if name, ok := parseAllow(c.Text); ok {
+					out = append(out, Allow{Pos: c.Pos(), End: c.End(), Name: name})
+				}
+			}
+		}
+	}
+	return out
 }
 
 // parseAllow recognizes `//lint:allow <name> [— reason]` and returns

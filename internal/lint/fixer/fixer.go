@@ -1,0 +1,135 @@
+// Package fixer applies the SuggestedFixes analyzers attach to their
+// diagnostics: the engine behind `herdlint -fix`. Edits are byte-range
+// replacements resolved through the FileSet; overlapping fixes are
+// applied first-come (later conflicting fixes are skipped and stay as
+// diagnostics for the next run), so -fix converges instead of
+// corrupting files.
+package fixer
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"herdkv/internal/lint/analysis"
+)
+
+// edit is one byte-range replacement within a file.
+type edit struct {
+	start, end int
+	text       []byte
+}
+
+// Apply writes every applicable fix to disk and returns the number of
+// fixes applied. Fixes whose edits overlap an already-accepted edit
+// are skipped.
+func Apply(fset *token.FileSet, fixes []analysis.SuggestedFix) (int, error) {
+	byFile := map[string][]edit{}
+	applied := 0
+	for _, fix := range fixes {
+		staged := map[string][]edit{}
+		ok := true
+		for _, te := range fix.TextEdits {
+			start := fset.Position(te.Pos)
+			end := fset.Position(te.End)
+			if start.Filename == "" || start.Filename != end.Filename || end.Offset < start.Offset {
+				ok = false
+				break
+			}
+			e := edit{start: start.Offset, end: end.Offset, text: te.NewText}
+			if overlaps(byFile[start.Filename], e) || overlaps(staged[start.Filename], e) {
+				ok = false
+				break
+			}
+			staged[start.Filename] = append(staged[start.Filename], e)
+		}
+		if !ok {
+			continue
+		}
+		for name, es := range staged {
+			byFile[name] = append(byFile[name], es...)
+		}
+		applied++
+	}
+	for name, edits := range byFile {
+		if err := applyFile(name, edits); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+func overlaps(existing []edit, e edit) bool {
+	for _, x := range existing {
+		if e.start < x.end && x.start < e.end {
+			return true
+		}
+		// Two pure insertions at the same point also conflict.
+		if e.start == e.end && x.start == x.end && e.start == x.start {
+			return true
+		}
+	}
+	return false
+}
+
+func applyFile(name string, edits []edit) error {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(name)
+	if err != nil {
+		return err
+	}
+	out, err := applyBytes(data, edits)
+	if err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	return os.WriteFile(name, out, st.Mode().Perm())
+}
+
+// applyBytes applies edits to content, cleaning up deletions: a pure
+// deletion swallows the horizontal whitespace before it, and if the
+// line it leaves behind is blank, the whole line goes.
+func applyBytes(content []byte, edits []edit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+	out := append([]byte(nil), content...)
+	for _, e := range edits {
+		if e.end > len(out) {
+			return nil, fmt.Errorf("edit range [%d,%d) beyond file size %d", e.start, e.end, len(out))
+		}
+		start, end := e.start, e.end
+		if len(e.text) == 0 {
+			start, end = widenDeletion(out, start, end)
+		}
+		out = append(out[:start], append(append([]byte(nil), e.text...), out[end:]...)...)
+	}
+	return out, nil
+}
+
+// widenDeletion trims the whitespace a deleted comment leaves behind:
+// horizontal whitespace immediately before [start,end), then the
+// trailing newline if nothing else remains on the line.
+func widenDeletion(content []byte, start, end int) (int, int) {
+	for start > 0 && (content[start-1] == ' ' || content[start-1] == '\t') {
+		start--
+	}
+	lineStart := start
+	for lineStart > 0 && content[lineStart-1] != '\n' {
+		lineStart--
+	}
+	if lineStart == start && end < len(content) && content[end] == '\n' {
+		end++ // the deletion consumed the whole line; drop its newline too
+	}
+	return start, end
+}
+
+// FromDiagnostics flattens the fixes attached to diagnostics.
+func FromDiagnostics(diags []analysis.Diagnostic) []analysis.SuggestedFix {
+	var out []analysis.SuggestedFix
+	for _, d := range diags {
+		out = append(out, d.SuggestedFixes...)
+	}
+	return out
+}

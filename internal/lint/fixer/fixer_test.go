@@ -1,0 +1,111 @@
+package fixer
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"herdkv/internal/lint/analysis"
+)
+
+func TestApplyBytes(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		edits   []edit
+		want    string
+	}{
+		{
+			name:    "replacement",
+			content: "a := fmt.Sprintf(\"x\")\n",
+			edits:   []edit{{start: 5, end: 21, text: []byte(`"x"`)}},
+			want:    "a := \"x\"\n",
+		},
+		{
+			name:    "insertion",
+			content: "ab\n",
+			edits:   []edit{{start: 1, end: 1, text: []byte("_")}},
+			want:    "a_b\n",
+		},
+		{
+			name:    "trailing comment deletion swallows the gap",
+			content: "a := 1 //lint:allow x\nb := 2\n",
+			edits:   []edit{{start: 7, end: 21}},
+			want:    "a := 1\nb := 2\n",
+		},
+		{
+			name:    "own-line comment deletion drops the whole line",
+			content: "x\n\t//lint:allow y\nz\n",
+			edits:   []edit{{start: 3, end: 17}},
+			want:    "x\nz\n",
+		},
+		{
+			name:    "edits apply back to front",
+			content: "one two three\n",
+			edits: []edit{
+				{start: 0, end: 3, text: []byte("1")},
+				{start: 8, end: 13, text: []byte("3")},
+			},
+			want: "1 two 3\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := applyBytes([]byte(tc.content), tc.edits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != tc.want {
+				t.Errorf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestApplyBytesRejectsOutOfRange(t *testing.T) {
+	if _, err := applyBytes([]byte("ab"), []edit{{start: 1, end: 5}}); err == nil {
+		t.Error("edit beyond file size must error")
+	}
+}
+
+// TestApplyOverlapFirstComeWins stages two fixes over the same range:
+// the first applies, the second is skipped so the file is rewritten
+// exactly once and -fix converges instead of corrupting the file.
+func TestApplyOverlapFirstComeWins(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	content := "package p\n\nvar v = 1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	tf := fset.AddFile(path, -1, len(content))
+	tf.SetLinesForContent([]byte(content))
+	at := func(off int) token.Pos { return tf.Pos(off) }
+
+	valStart := strings.Index(content, "1")
+	fixes := []analysis.SuggestedFix{
+		{Message: "first", TextEdits: []analysis.TextEdit{
+			{Pos: at(valStart), End: at(valStart + 1), NewText: []byte("2")},
+		}},
+		{Message: "second overlaps first", TextEdits: []analysis.TextEdit{
+			{Pos: at(valStart), End: at(valStart + 1), NewText: []byte("3")},
+		}},
+	}
+	applied, err := Apply(fset, fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Errorf("applied %d fixes, want 1", applied)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "package p\n\nvar v = 2\n"; string(got) != want {
+		t.Errorf("file after Apply: %q, want %q", got, want)
+	}
+}

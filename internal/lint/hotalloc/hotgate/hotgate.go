@@ -1,0 +1,63 @@
+// Package hotgate is the runtime companion of the hotalloc analyzer:
+// where hotalloc proves a `//herd:hotpath` function contains no
+// allocating constructs statically, hotgate measures it. Each package
+// with annotations carries one gate test that hands Check a map from
+// annotated function (the analyzer's "Recv.Func" / "Func" key) to a
+// closure exercising it; Check cross-checks that map against the
+// annotations on disk — every annotation needs a gate, every gate an
+// annotation — and asserts each gate runs at exactly 0 allocs/op.
+package hotgate
+
+import (
+	"sort"
+	"testing"
+
+	"herdkv/internal/lint/hotalloc"
+)
+
+// Check verifies that gates covers exactly the `//herd:hotpath`
+// functions declared in the package rooted at dir, and that each gate
+// body is allocation-free. Gate closures run once before measurement,
+// so pools and caches warm outside the measured window — steady-state
+// behavior is what the annotation promises.
+func Check(t *testing.T, dir string, gates map[string]func()) {
+	t.Helper()
+	annotated, err := hotalloc.AnnotatedFuncs(dir)
+	if err != nil {
+		t.Fatalf("hotgate: scanning %s: %v", dir, err)
+	}
+	for _, name := range sortedKeys(annotated) {
+		if _, ok := gates[name]; !ok {
+			t.Errorf("hotgate: //herd:hotpath %s has no AllocsPerRun gate", name)
+		}
+	}
+	for _, name := range sortedGates(gates) {
+		fn := gates[name]
+		if !annotated[name] {
+			t.Errorf("hotgate: gate %q matches no //herd:hotpath function", name)
+			continue
+		}
+		fn() // warm pools, caches, and grown buffers outside the measurement
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("hotgate: %s: %.1f allocs/op, want 0", name, n)
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedGates(m map[string]func()) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

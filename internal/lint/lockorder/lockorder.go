@@ -1,0 +1,420 @@
+// Package lockorder builds the sync.Mutex / sync.RWMutex acquisition
+// graph of a package and reports (a) cyclic lock orderings — lock A
+// held while taking B in one function, B held while taking A in
+// another — and (b) user callbacks or channel sends reached while a
+// lock is held, the classic way a durable-callback or recovery-hook
+// API deadlocks its caller.
+//
+// The simulator core is single-threaded by design (one engine, no
+// goroutines), so the shipped tree should have no mutexes at all;
+// this analyzer exists so that if concurrency ever creeps into
+// core/fleet/mux/wal, the lock discipline is checked from day one
+// rather than reconstructed after the first deadlock.
+//
+// Analysis is intra-package and flow-approximate: statements are
+// scanned in source order, a deferred Unlock keeps the lock held to
+// the end of the function, and calls to same-package functions are
+// resolved transitively (their acquisitions become edges from every
+// lock held at the call site). Lock identity is the declared variable
+// or struct field — every instance of a struct shares one node, which
+// is exactly the granularity lock-ordering rules are written at.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"herdkv/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "report cyclic mutex orderings and callbacks/sends under a held lock\n\n" +
+		"Builds the package's lock acquisition graph; a cycle means two\n" +
+		"call paths can deadlock, a callback or channel send under a lock\n" +
+		"means user code runs inside the critical section.",
+	Run: run,
+}
+
+// lockObj identifies a lock by its declared variable or field object.
+type lockObj = types.Object
+
+// summary is the transitive behaviour of one function.
+type summary struct {
+	acquires map[lockObj]token.Pos // locks taken anywhere inside (transitively)
+	unsafe   []token.Pos           // callback/send sites (transitively; first pos kept)
+	calls    []callSite            // same-package static callees with locks held at the site
+}
+
+type callSite struct {
+	callee *types.Func
+	held   []lockObj
+	pos    token.Pos
+}
+
+type edge struct {
+	from, to lockObj
+	pos      token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	a := &analyzer{
+		pass:      pass,
+		summaries: map[*types.Func]*summary{},
+		names:     map[lockObj]string{},
+	}
+
+	// Pass 1: local summaries for every declared function and, as
+	// anonymous roots, every function literal.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			s := a.scan(fd.Body)
+			if fn != nil {
+				a.summaries[fn] = s
+			}
+		}
+	}
+
+	// Pass 2: propagate callee acquisitions to a fixpoint so A->B->C
+	// chains contribute edges and reach-a-callback verdicts.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range a.summaries {
+			for _, cs := range s.calls {
+				callee, ok := a.summaries[cs.callee]
+				if !ok {
+					continue
+				}
+				for obj, pos := range callee.acquires {
+					if _, seen := s.acquires[obj]; !seen {
+						s.acquires[obj] = pos
+						changed = true
+					}
+				}
+				if len(callee.unsafe) > 0 && len(s.unsafe) == 0 {
+					s.unsafe = append(s.unsafe, callee.unsafe[0])
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass 3: edges and diagnostics from call sites with locks held.
+	for _, s := range a.summaries {
+		for _, cs := range s.calls {
+			callee, ok := a.summaries[cs.callee]
+			if !ok || len(cs.held) == 0 {
+				continue
+			}
+			for _, h := range cs.held {
+				for obj := range callee.acquires {
+					if obj == h {
+						a.pass.Reportf(cs.pos, "%s may re-acquire %s already held here (self-deadlock)",
+							cs.callee.Name(), a.name(h))
+						continue
+					}
+					a.edges = append(a.edges, edge{from: h, to: obj, pos: cs.pos})
+				}
+			}
+			if len(callee.unsafe) > 0 {
+				a.pass.Reportf(cs.pos, "call to %s runs a callback or channel send while %s is held",
+					cs.callee.Name(), a.name(cs.held[0]))
+			}
+		}
+	}
+
+	a.reportCycles()
+	return nil, nil
+}
+
+type analyzer struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func]*summary
+	edges     []edge
+	names     map[lockObj]string // first-seen source rendering, e.g. "s.mu"
+}
+
+func (a *analyzer) name(obj lockObj) string {
+	if n, ok := a.names[obj]; ok {
+		return n
+	}
+	return obj.Name()
+}
+
+// scan walks one body in source order, tracking held locks.
+func (a *analyzer) scan(body *ast.BlockStmt) *summary {
+	s := &summary{acquires: map[lockObj]token.Pos{}}
+	var held []lockObj
+	heldIndex := func(obj lockObj) int {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The literal runs later, outside this critical section;
+			// analyze it as its own root.
+			lit := a.scan(n.Body)
+			_ = lit
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at return: for source-order
+			// scanning that means "held for the rest of the body", so
+			// simply don't process the unlock.
+			if obj, kind := a.lockCall(n.Call); obj != nil && kind == opUnlock {
+				return false
+			}
+			return true
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				a.pass.Reportf(n.Pos(), "channel send while %s is held", a.name(held[len(held)-1]))
+				s.unsafe = append(s.unsafe, n.Pos())
+			}
+			return true
+		case *ast.CallExpr:
+			if obj, kind := a.lockCall(n); obj != nil {
+				switch kind {
+				case opLock:
+					if heldIndex(obj) >= 0 {
+						a.pass.Reportf(n.Pos(), "%s acquired while already held (self-deadlock)", a.name(obj))
+					}
+					for _, h := range held {
+						if h != obj {
+							a.edges = append(a.edges, edge{from: h, to: obj, pos: n.Pos()})
+						}
+					}
+					if _, seen := s.acquires[obj]; !seen {
+						s.acquires[obj] = n.Pos()
+					}
+					held = append(held, obj)
+				case opUnlock:
+					if i := heldIndex(obj); i >= 0 {
+						held = append(held[:i], held[i+1:]...)
+					}
+				}
+				return true
+			}
+			if callee := staticCallee(a.pass.TypesInfo, n); callee != nil {
+				if callee.Pkg() == a.pass.Pkg {
+					s.calls = append(s.calls, callSite{
+						callee: callee,
+						held:   append([]lockObj(nil), held...),
+						pos:    n.Pos(),
+					})
+				}
+				return true
+			}
+			// Dynamic call: a func value or interface method — user
+			// code we cannot see. Under a lock that is the deadlock
+			// pattern this analyzer exists for.
+			if a.isDynamicCall(n) && len(held) > 0 {
+				a.pass.Reportf(n.Pos(), "callback invoked while %s is held", a.name(held[len(held)-1]))
+				s.unsafe = append(s.unsafe, n.Pos())
+			}
+			return true
+		}
+		return true
+	})
+	return s
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+)
+
+// lockCall recognizes m.Lock()/RLock()/TryLock()/Unlock()/RUnlock()
+// on a sync.Mutex or sync.RWMutex and returns the lock's identity.
+func (a *analyzer) lockCall(call *ast.CallExpr) (lockObj, lockOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, opNone
+	}
+	var kind lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return nil, opNone
+	}
+	obj := a.receiverObj(sel.X)
+	if obj == nil || !isSyncLock(obj.Type()) {
+		return nil, opNone
+	}
+	if _, ok := a.names[obj]; !ok {
+		a.names[obj] = types.ExprString(sel.X)
+	}
+	return obj, kind
+}
+
+// receiverObj resolves the variable or field the lock method is called
+// on: `mu`, `s.mu`, `pkgvar.mu`, `s.inner.mu`.
+func (a *analyzer) receiverObj(x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return a.pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		if s, ok := a.pass.TypesInfo.Selections[x]; ok {
+			return s.Obj()
+		}
+		return a.pass.TypesInfo.Uses[x.Sel]
+	}
+	return nil
+}
+
+func (a *analyzer) isDynamicCall(call *ast.CallExpr) bool {
+	if tv, ok := a.pass.TypesInfo.Types[call.Fun]; ok {
+		if tv.IsType() {
+			return false // conversion
+		}
+		if _, ok := tv.Type.Underlying().(*types.Signature); !ok {
+			return false
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := a.pass.TypesInfo.Uses[fun]
+		switch obj.(type) {
+		case *types.Builtin, *types.TypeName, *types.Func:
+			return false
+		}
+		return obj != nil // func-typed var or param
+	case *ast.SelectorExpr:
+		if s, ok := a.pass.TypesInfo.Selections[fun]; ok {
+			if f, ok := s.Obj().(*types.Func); ok {
+				// Interface method = dynamic dispatch into unknown code.
+				sig := f.Type().(*types.Signature)
+				return sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+			}
+			return true // func-typed struct field
+		}
+		// Package-qualified: static.
+		return false
+	case *ast.FuncLit:
+		return true // immediately-invoked literal still runs user code inline
+	}
+	return false
+}
+
+func isSyncLock(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// reportCycles finds ordering cycles in the acquisition graph and
+// reports each unordered lock set once, at the lexically first edge.
+func (a *analyzer) reportCycles() {
+	if len(a.edges) == 0 {
+		return
+	}
+	adj := map[lockObj]map[lockObj]token.Pos{}
+	for _, e := range a.edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[lockObj]token.Pos{}
+		}
+		if _, ok := adj[e.from][e.to]; !ok || e.pos < adj[e.from][e.to] {
+			adj[e.from][e.to] = e.pos
+		}
+	}
+	reaches := func(from, to lockObj) (token.Pos, bool) {
+		seen := map[lockObj]bool{}
+		var dfs func(lockObj) (token.Pos, bool)
+		dfs = func(n lockObj) (token.Pos, bool) {
+			if seen[n] {
+				return 0, false
+			}
+			seen[n] = true
+			for next, pos := range adj[n] {
+				if next == to {
+					return pos, true
+				}
+				if p, ok := dfs(next); ok {
+					if n == from {
+						return pos, true
+					}
+					return p, true
+				}
+			}
+			return 0, false
+		}
+		return dfs(from)
+	}
+
+	type cyc struct {
+		a, b     lockObj
+		pos, rev token.Pos
+	}
+	var cycles []cyc
+	reported := map[[2]lockObj]bool{}
+	for _, e := range a.edges {
+		if rev, ok := reaches(e.to, e.from); ok {
+			key := [2]lockObj{e.from, e.to}
+			if e.to.Pos() < e.from.Pos() {
+				key = [2]lockObj{e.to, e.from}
+			}
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			cycles = append(cycles, cyc{a: e.from, b: e.to, pos: e.pos, rev: rev})
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i].pos < cycles[j].pos })
+	for _, c := range cycles {
+		a.pass.Reportf(c.pos, "lock order cycle: %s acquired before %s here, but %s before %s at %s",
+			a.name(c.a), a.name(c.b), a.name(c.b), a.name(c.a),
+			a.pass.Fset.Position(c.rev).String())
+	}
+}
+
+// staticCallee resolves the statically-known callee of call, nil for
+// dynamic calls.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				sig := f.Type().(*types.Signature)
+				if sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+					return nil
+				}
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

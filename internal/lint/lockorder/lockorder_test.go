@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"herdkv/internal/lint/analysistest"
+	"herdkv/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockorder.Analyzer, "lofix")
+}

@@ -65,7 +65,8 @@ var deterministicPkgs = map[string]bool{
 	"fault": true, "core": true, "cluster": true, "experiments": true,
 	"workload": true, "stats": true, "hostmem": true, "kv": true,
 	"mica": true, "cuckoo": true, "hopscotch": true, "farm": true,
-	"pilaf": true, "telemetry": true,
+	"pilaf": true, "telemetry": true, "fleet": true, "mux": true,
+	"wal": true,
 }
 
 // Deterministic reports whether the package at path is held to the

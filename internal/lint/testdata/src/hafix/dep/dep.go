@@ -1,0 +1,12 @@
+// Package dep is the cross-package half of the hotalloc fixture: the
+// callee rule resolves //herd:hotpath annotations in imported in-tree
+// packages through DirLookup.
+package dep
+
+// Fast is annotated; hafix hot paths may call it.
+//
+//herd:hotpath
+func Fast(x int) int { return x * 2 }
+
+// Slow is not annotated: calling it from a hot path is a diagnostic.
+func Slow() {}

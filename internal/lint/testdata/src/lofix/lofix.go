@@ -1,0 +1,104 @@
+// Package lofix is the lockorder fixture: acquisition cycles,
+// self-deadlocks, and user code reached inside critical sections.
+package lofix
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	cb    func()
+	ch    chan int
+}
+
+func (s *server) callbackUnderLock() {
+	s.mu.Lock()
+	s.cb() // want `callback invoked while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) sendUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+}
+
+func (s *server) callbackAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.cb()
+}
+
+func (s *server) relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu acquired while already held \(self-deadlock\)`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) lockedHelper() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *server) reentry() {
+	s.mu.Lock()
+	s.lockedHelper() // want `lockedHelper may re-acquire s\.mu already held here \(self-deadlock\)`
+	s.mu.Unlock()
+}
+
+func (s *server) notify() {
+	s.other.Lock()
+	s.cb() // want `callback invoked while s\.other is held`
+	s.other.Unlock()
+}
+
+func (s *server) fanout() {
+	s.mu.Lock()
+	s.notify() // want `call to notify runs a callback or channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) allowedCallback() {
+	s.mu.Lock()
+	s.cb() //lint:allow lockorder — fixture demonstrates the escape hatch
+	s.mu.Unlock()
+}
+
+var (
+	ingress sync.Mutex
+	egress  sync.Mutex
+)
+
+func forward() {
+	ingress.Lock()
+	egress.Lock() // want `lock order cycle: ingress acquired before egress here, but egress before ingress at .*`
+	egress.Unlock()
+	ingress.Unlock()
+}
+
+func reverse() {
+	egress.Lock()
+	ingress.Lock()
+	ingress.Unlock()
+	egress.Unlock()
+}
+
+// table shows the clean discipline: one RWMutex, reads under RLock,
+// writes under Lock, nothing user-visible inside the critical section.
+type table struct {
+	rw sync.RWMutex
+	m  map[int]int
+}
+
+func (t *table) get(k int) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) put(k, v int) {
+	t.rw.Lock()
+	t.m[k] = v
+	t.rw.Unlock()
+}

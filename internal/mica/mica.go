@@ -39,6 +39,9 @@ const (
 	partitionSeed = 0xeeee
 )
 
+// hash64 is the bucket-selection hash.
+//
+//herd:hotpath
 func hash64(k Key) uint64 { return k.Hash64(bucketSeed) }
 
 // Errors returned by cache operations.
@@ -150,12 +153,17 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a snapshot of activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// bucketOf maps a keyhash to its bucket's slot base and tag.
+//
+//herd:hotpath
 func (c *Cache) bucketOf(h uint64) (base int, tag uint16) {
 	return int(h&c.mask) * c.cfg.BucketSlots, uint16(h >> 48)
 }
 
 // entryAt reads the log entry at monotonic offset off, verifying it has
 // not been overwritten by log wraparound.
+//
+//herd:hotpath
 func (c *Cache) entryAt(off uint64, key Key) ([]byte, bool) {
 	size := uint64(len(c.log))
 	if off >= c.head || c.head-off > size {
@@ -179,6 +187,8 @@ func (c *Cache) entryAt(off uint64, key Key) ([]byte, bool) {
 
 // Get returns the value for key. The returned slice aliases the log and
 // is valid until the next Put.
+//
+//herd:hotpath
 func (c *Cache) Get(key Key) ([]byte, bool) {
 	c.stats.Gets++
 	if key.IsZero() {
@@ -213,6 +223,8 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 // append writes an entry for key/value and returns its monotonic offset.
 // In store mode the log is append-only and returns ErrLogFull instead of
 // wrapping over live data.
+//
+//herd:hotpath
 func (c *Cache) append(key Key, value []byte) (uint64, error) {
 	size := uint64(len(c.log))
 	need := uint64(entryHeader + len(value))
@@ -239,6 +251,8 @@ func (c *Cache) append(key Key, value []byte) (uint64, error) {
 // Put inserts or updates key with value. Inserting into a full bucket
 // evicts a slot (the lossy index); old log space is reclaimed implicitly
 // by wraparound (FIFO).
+//
+//herd:hotpath
 func (c *Cache) Put(key Key, value []byte) error {
 	if key.IsZero() {
 		return ErrZeroKey
@@ -295,6 +309,8 @@ func (c *Cache) Put(key Key, value []byte) error {
 
 // Delete removes key from the index. It returns whether the key was
 // present.
+//
+//herd:hotpath
 func (c *Cache) Delete(key Key) bool {
 	if key.IsZero() {
 		return false
@@ -359,6 +375,8 @@ const (
 
 // Partition selects the EREW partition for key among n partitions, the
 // keyhash sharding MICA and HERD use to give each core exclusive access.
+//
+//herd:hotpath
 func Partition(key Key, n int) int {
 	if n <= 1 {
 		return 0

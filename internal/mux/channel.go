@@ -19,12 +19,17 @@ const (
 
 // chanOp is one submission-queue entry: the operation plus the routing
 // state that demuxes its response (in hardware this is the vcid header
-// echoed through the endpoint's in-flight table).
+// echoed through the endpoint's in-flight table). Entries are pooled
+// per endpoint: done — the completion closure handed to the pooled
+// client — is built once per entry and rides through the free list, so
+// steady-state submissions allocate nothing.
 type chanOp struct {
+	ch        *Channel // owning channel while in flight; nil in the pool
 	kind      opKind
 	key       kv.Key
 	value     []byte
 	cb        func(kv.Result)
+	done      func(kv.Result)
 	submitted sim.Time
 	started   bool
 	trace     *telemetry.Trace
@@ -68,7 +73,7 @@ func (ch *Channel) Get(key kv.Key, cb func(kv.Result)) error {
 	if key.IsZero() {
 		return mica.ErrZeroKey
 	}
-	ch.ep.submit(ch, &chanOp{kind: opGet, key: key, cb: cb})
+	ch.ep.submit(ch, ch.ep.getOp(ch, opGet, key, cb))
 	return nil
 }
 
@@ -85,9 +90,11 @@ func (ch *Channel) Put(key kv.Key, value []byte, cb func(kv.Result)) error {
 	if len(value) > mica.MaxValueSize {
 		return mica.ErrValueTooLarge
 	}
-	v := make([]byte, len(value))
-	copy(v, value)
-	ch.ep.submit(ch, &chanOp{kind: opPut, key: key, value: v, cb: cb})
+	op := ch.ep.getOp(ch, opPut, key, cb)
+	// Copy into the pooled entry's buffer (the caller may reuse value);
+	// a recycled entry's capacity makes the copy allocation-free.
+	op.value = append(op.value, value...)
+	ch.ep.submit(ch, op)
 	return nil
 }
 
@@ -96,7 +103,7 @@ func (ch *Channel) Delete(key kv.Key, cb func(kv.Result)) error {
 	if key.IsZero() {
 		return mica.ErrZeroKey
 	}
-	ch.ep.submit(ch, &chanOp{kind: opDelete, key: key, cb: cb})
+	ch.ep.submit(ch, ch.ep.getOp(ch, opDelete, key, cb))
 	return nil
 }
 

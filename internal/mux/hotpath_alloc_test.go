@@ -1,0 +1,31 @@
+package mux
+
+import (
+	"testing"
+
+	"herdkv/internal/kv"
+	"herdkv/internal/lint/hotalloc/hotgate"
+)
+
+// gateClient is a zero-state PoolClient for exercising the endpoint's
+// scheduler kernels without a cluster behind them.
+type gateClient struct{}
+
+func (gateClient) Get(kv.Key, func(kv.Result)) error         { return nil }
+func (gateClient) Put(kv.Key, []byte, func(kv.Result)) error { return nil }
+func (gateClient) Delete(kv.Key, func(kv.Result)) error      { return nil }
+func (gateClient) Inflight() int                             { return 0 }
+func (gateClient) Issued() uint64                            { return 0 }
+func (gateClient) Completed() uint64                         { return 0 }
+func (gateClient) Failed() uint64                            { return 0 }
+func (gateClient) Window() int                               { return 4 }
+
+// TestHotpathAllocFree gates the //herd:hotpath functions of the
+// endpoint scheduler at 0 allocs/op.
+func TestHotpathAllocFree(t *testing.T) {
+	ep := &Endpoint{pool: []PoolClient{gateClient{}, gateClient{}}}
+	hotgate.Check(t, ".", map[string]func(){
+		"Endpoint.poolWithRoom": func() { _ = ep.poolWithRoom() },
+		"opKind.kindName":       func() { _ = opPut.kindName() },
+	})
+}

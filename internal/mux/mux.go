@@ -97,6 +97,7 @@ type Endpoint struct {
 	poolRR  int // next pool client to consider
 	queued  int // ops waiting in channel queues, endpoint-wide
 	pumping bool
+	opFree  []*chanOp // recycled submission-queue entries
 
 	issued, completed, failed uint64
 
@@ -192,11 +193,45 @@ func (ep *Endpoint) Failed() uint64    { return ep.failed }
 
 func (ep *Endpoint) now() sim.Time { return ep.eng.Now() }
 
+// getOp returns a submission-queue entry from the free pool (or a fresh
+// one), initialized for a new operation. The entry's completion closure
+// is constructed once, on first allocation, and reused across recycles.
+func (ep *Endpoint) getOp(ch *Channel, kind opKind, key kv.Key, cb func(kv.Result)) *chanOp {
+	var op *chanOp
+	if n := len(ep.opFree); n > 0 {
+		op = ep.opFree[n-1]
+		ep.opFree = ep.opFree[:n-1]
+	} else {
+		op = new(chanOp)
+		op.done = func(r kv.Result) { op.ch.ep.complete(op.ch, op, r) }
+	}
+	op.ch = ch
+	op.kind = kind
+	op.key = key
+	op.value = op.value[:0]
+	op.cb = cb
+	op.submitted = 0
+	op.started = false
+	op.trace = nil
+	return op
+}
+
+// putOp recycles a resolved entry. Callers must be done with every
+// field: the entry may be handed to a new operation immediately.
+func (ep *Endpoint) putOp(op *chanOp) {
+	op.ch = nil
+	op.cb = nil
+	op.trace = nil
+	ep.opFree = append(ep.opFree, op)
+}
+
 // poolWithRoom returns the next pooled client with window room, in
 // round-robin order, or nil when the pool is saturated. The room check
 // uses the client's effective window, so a pooled client whose AIMD
 // window shrank under busy pushback accepts proportionally less — the
 // endpoint's composition with core's overload control.
+//
+//herd:hotpath
 func (ep *Endpoint) poolWithRoom() PoolClient {
 	for i := 0; i < len(ep.pool); i++ {
 		cli := ep.pool[ep.poolRR%len(ep.pool)]
@@ -261,15 +296,14 @@ func (ep *Endpoint) issue(ch *Channel, cli PoolClient) {
 	ep.issued++
 	ep.telIssued.Inc()
 
-	cb := func(r kv.Result) { ep.complete(ch, op, r) }
 	var err error
 	switch op.kind {
 	case opPut:
-		err = cli.Put(op.key, op.value, cb)
+		err = cli.Put(op.key, op.value, op.done)
 	case opDelete:
-		err = cli.Delete(op.key, cb)
+		err = cli.Delete(op.key, op.done)
 	default:
-		err = cli.Get(op.key, cb)
+		err = cli.Get(op.key, op.done)
 	}
 	if err != nil {
 		// Synchronous rejection: resolve the op as failed so channel
@@ -303,6 +337,7 @@ func (ep *Endpoint) complete(ch *Channel, op *chanOp, r kv.Result) {
 	if op.cb != nil {
 		op.cb(r)
 	}
+	ep.putOp(op)
 }
 
 // submit accepts one channel op into the endpoint: enqueue, try to
@@ -330,6 +365,8 @@ func (ep *Endpoint) submit(ch *Channel, op *chanOp) {
 }
 
 // kindName returns the trace name for an operation kind.
+//
+//herd:hotpath
 func (k opKind) kindName() string {
 	switch k {
 	case opPut:
