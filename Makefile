@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fix test race bench microbench
+.PHONY: all build vet lint lint-fix test race bench bench-check microbench
 
 all: build vet lint test
 
@@ -32,12 +32,25 @@ race:
 # client-scaling sweep (the Figure 12 cliff with and without the
 # endpoint multiplexing tier) writes BENCH_clients.json, and the
 # durability comparison (warm WAL rejoin vs cold re-replication after a
-# mid-flush crash) writes BENCH_durability.json.
+# mid-flush crash) writes BENCH_durability.json, and the hot-key
+# survival comparison (near cache + leases + widening vs plain fleet on
+# the skewed workload) writes BENCH_hotkey.json.
 bench:
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -benchjson BENCH_fleet.json fleet-bench
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -overloadjson BENCH_overload.json overload
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -clientsjson BENCH_clients.json clients-sweep
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -durabilityjson BENCH_durability.json durability
+	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -hotkeyjson BENCH_hotkey.json hotkey
+
+# Bench ratchet: regenerate the ratcheted benchmarks and diff their
+# throughput leaves against the committed baselines in baselines/;
+# any >5% drop fails (see cmd/benchcheck). The simulator is
+# deterministic, so a failure is a real slowdown, not noise.
+bench-check:
+	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -benchjson BENCH_fleet.json fleet-bench
+	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -hotkeyjson BENCH_hotkey.json hotkey
+	$(GO) run ./cmd/benchcheck -max-regress 0.05 baselines/BENCH_fleet.json BENCH_fleet.json
+	$(GO) run ./cmd/benchcheck -max-regress 0.05 baselines/BENCH_hotkey.json BENCH_hotkey.json
 
 microbench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

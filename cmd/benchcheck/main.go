@@ -1,0 +1,125 @@
+// Command benchcheck is the benchmark ratchet: it compares a freshly
+// generated benchmark JSON against a committed baseline and fails when
+// any throughput leaf regressed past the allowed fraction.
+//
+// Usage:
+//
+//	benchcheck [-max-regress 0.05] baseline.json fresh.json
+//
+// Throughput leaves are numeric JSON fields whose key contains "mops"
+// (the convention every BENCH_*.json in this repo follows). Fields
+// present in the baseline but missing from the fresh file fail the
+// check too — a renamed field silently dropping out of the ratchet is
+// exactly the kind of drift this tool exists to catch. Improvements
+// and new fields are reported but never fail.
+//
+// The simulator is deterministic, so a regression here is a real code
+// change slowing a measured path, not noise; the slack exists only to
+// absorb intentional small trade-offs without a baseline churn per PR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.05,
+		"maximum allowed fractional drop per throughput leaf")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-max-regress f] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, err := loadLeaves(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fresh, err := loadLeaves(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failed := false
+	for _, k := range keys {
+		was := base[k]
+		now, ok := fresh[k]
+		if !ok {
+			fmt.Printf("FAIL %s: in baseline (%.3f) but missing from %s\n", k, was, flag.Arg(1))
+			failed = true
+			continue
+		}
+		switch {
+		case was <= 0:
+			fmt.Printf("  ok %s: baseline %.3f not positive, skipped\n", k, was)
+		case now < was*(1-*maxRegress):
+			fmt.Printf("FAIL %s: %.3f -> %.3f (%.1f%% drop, limit %.0f%%)\n",
+				k, was, now, (1-now/was)*100, *maxRegress*100)
+			failed = true
+		default:
+			fmt.Printf("  ok %s: %.3f -> %.3f (%+.1f%%)\n", k, was, now, (now/was-1)*100)
+		}
+	}
+	for k, v := range fresh {
+		if _, ok := base[k]; !ok {
+			fmt.Printf(" new %s: %.3f (no baseline yet)\n", k, v)
+		}
+	}
+	if failed {
+		fmt.Printf("benchcheck: %s regressed vs %s\n", flag.Arg(1), flag.Arg(0))
+		os.Exit(1)
+	}
+}
+
+// loadLeaves extracts every numeric leaf whose key contains "mops"
+// from an arbitrary JSON document (objects and arrays are walked;
+// array indexes become path segments so sweep points stay distinct).
+func loadLeaves(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc interface{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	leaves := make(map[string]float64)
+	walk(doc, "", leaves)
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("%s: no throughput (*mops*) leaves found", path)
+	}
+	return leaves, nil
+}
+
+func walk(node interface{}, prefix string, out map[string]float64) {
+	switch v := node.(type) {
+	case map[string]interface{}:
+		for k, child := range v {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			if n, ok := child.(float64); ok && strings.Contains(strings.ToLower(k), "mops") {
+				out[p] = n
+				continue
+			}
+			walk(child, p, out)
+		}
+	case []interface{}:
+		for i, child := range v {
+			walk(child, fmt.Sprintf("%s[%d]", prefix, i), out)
+		}
+	}
+}

@@ -22,7 +22,9 @@
 // docs/SCALABILITY.md. "durability" crashes a durable fleet
 // mid-group-commit and compares warm WAL rejoin against cold
 // re-replication (-durabilityjson writes the comparison as JSON); see
-// docs/DURABILITY.md.
+// docs/DURABILITY.md. "hotkey" runs the skewed workload with and
+// without the client near cache + leases + hot-key widening
+// (-hotkeyjson writes the comparison as JSON); see docs/CACHING.md.
 //
 // -metrics dumps the cluster-wide metric registry (per-verb posted and
 // completion counters, PCIe transaction counts, NIC cache hit rates,
@@ -61,6 +63,7 @@ func main() {
 	overloadJSON := flag.String("overloadjson", "", "with the overload target: also write the sweep as JSON to this file")
 	clientsJSON := flag.String("clientsjson", "", "with the clients-sweep target: also write the sweep as JSON to this file")
 	durabilityJSON := flag.String("durabilityjson", "", "with the durability target: also write the comparison as JSON to this file")
+	hotkeyJSON := flag.String("hotkeyjson", "", "with the hotkey target: also write the comparison as JSON to this file")
 	flag.Parse()
 
 	experiments.Warmup = sim.Time(*warmupUS) * sim.Microsecond
@@ -159,6 +162,17 @@ func main() {
 			return tbl
 		},
 
+		// Hot-key survival: the skewed workload with and without the
+		// client near cache + leases + hot-key widening
+		// (docs/CACHING.md).
+		"hotkey": func() *experiments.Table {
+			tbl, res := experiments.Hotkey(spec)
+			if *hotkeyJSON != "" {
+				writeFile(*hotkeyJSON, res.WriteJSON)
+			}
+			return tbl
+		},
+
 		// Robustness: HERD under a scripted fault schedule.
 		"chaos": func() *experiments.Table {
 			if *faultsFile == "" {
@@ -184,6 +198,7 @@ func main() {
 		"ablation-doorbell",
 		"anatomy", "cpuuse", "symmetric", "classical", "chaos",
 		"fleet-bench", "fleet-chaos", "overload", "clients-sweep", "durability",
+		"hotkey",
 	}
 
 	if *list {

@@ -84,10 +84,10 @@ func run(o options) (report, error) {
 			herdClients = append(herdClients, c)
 			doers[i] = doer{
 				get: func(k herdkv.Key, done func(bool, []byte, herdkv.Time)) error {
-					return c.Get(k, func(r herdkv.Result) { done(r.OK, r.Value, r.Latency) })
+					return c.Get(k, func(r herdkv.Result) { done(r.Status == herdkv.StatusHit, r.Value, r.Latency) })
 				},
 				put: func(k herdkv.Key, v []byte, done func(bool, herdkv.Time)) error {
-					return c.Put(k, v, func(r herdkv.Result) { done(r.OK, r.Latency) })
+					return c.Put(k, v, func(r herdkv.Result) { done(r.Status == herdkv.StatusHit, r.Latency) })
 				},
 			}
 		}
@@ -116,10 +116,10 @@ func run(o options) (report, error) {
 			}
 			doers[i] = doer{
 				get: func(k herdkv.Key, done func(bool, []byte, herdkv.Time)) error {
-					return c.Get(k, func(r herdkv.PilafResult) { done(r.OK, r.Value, r.Latency) })
+					return c.Get(k, func(r herdkv.Result) { done(r.Status == herdkv.StatusHit, r.Value, r.Latency) })
 				},
 				put: func(k herdkv.Key, v []byte, done func(bool, herdkv.Time)) error {
-					return c.Put(k, v, func(r herdkv.PilafResult) { done(r.OK, r.Latency) })
+					return c.Put(k, v, func(r herdkv.Result) { done(r.Status == herdkv.StatusHit, r.Latency) })
 				},
 			}
 		}
@@ -153,10 +153,10 @@ func run(o options) (report, error) {
 			}
 			doers[i] = doer{
 				get: func(k herdkv.Key, done func(bool, []byte, herdkv.Time)) error {
-					return c.Get(k, func(r herdkv.FarmResult) { done(r.OK, r.Value, r.Latency) })
+					return c.Get(k, func(r herdkv.Result) { done(r.Status == herdkv.StatusHit, r.Value, r.Latency) })
 				},
 				put: func(k herdkv.Key, v []byte, done func(bool, herdkv.Time)) error {
-					return c.Put(k, v, func(r herdkv.FarmResult) { done(r.OK, r.Latency) })
+					return c.Put(k, v, func(r herdkv.Result) { done(r.Status == herdkv.StatusHit, r.Latency) })
 				},
 			}
 		}

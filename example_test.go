@@ -19,11 +19,11 @@ func Example() {
 	key := herdkv.KeyFromUint64(42)
 	cli.Put(key, []byte("hello"), func(herdkv.Result) {
 		cli.Get(key, func(r herdkv.Result) {
-			fmt.Printf("ok=%v value=%s\n", r.OK, r.Value)
+			fmt.Printf("status=%v value=%s\n", r.Status, r.Value)
 		})
 	})
 	cl.Eng.Run()
-	// Output: ok=true value=hello
+	// Output: status=hit value=hello
 }
 
 // ExampleClient_Delete demonstrates the GET/PUT/DELETE interface.
@@ -38,16 +38,16 @@ func ExampleClient_Delete() {
 	key := herdkv.KeyFromUint64(7)
 	cli.Put(key, []byte("temp"), func(herdkv.Result) {
 		cli.Delete(key, func(r herdkv.Result) {
-			fmt.Printf("deleted=%v\n", r.OK)
+			fmt.Printf("delete=%v\n", r.Status)
 			cli.Get(key, func(r herdkv.Result) {
-				fmt.Printf("found=%v\n", r.OK)
+				fmt.Printf("get=%v\n", r.Status)
 			})
 		})
 	})
 	cl.Eng.Run()
 	// Output:
-	// deleted=true
-	// found=false
+	// delete=hit
+	// get=miss
 }
 
 // ExampleNewWorkload drives a HERD client with the paper's

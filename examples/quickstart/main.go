@@ -43,7 +43,7 @@ func main() {
 	for name, val := range items {
 		name, val := name, val
 		err := cli.Put(keyOf(name), []byte(val), func(r herdkv.Result) {
-			fmt.Printf("PUT %-10s ok=%-5v latency=%.2f us\n", name, r.OK, r.Latency.Microseconds())
+			fmt.Printf("PUT %-10s status=%-5v latency=%.2f us\n", name, r.Status, r.Latency.Microseconds())
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -56,7 +56,7 @@ func main() {
 		name, want := name, want
 		cli.Get(keyOf(name), func(r herdkv.Result) {
 			status := "MISS"
-			if r.OK && string(r.Value) == want {
+			if r.Status == herdkv.StatusHit && string(r.Value) == want {
 				status = "HIT"
 			}
 			fmt.Printf("GET %-10s %-4s value=%-6q latency=%.2f us\n",

@@ -73,7 +73,7 @@ func main() {
 		key := herdkv.KeyFromUint64(user)
 		start := cl.Eng.Now()
 		clients[f].Get(key, func(r herdkv.Result) {
-			if r.OK {
+			if r.Status == herdkv.StatusHit {
 				hits++
 				hitLat += cl.Eng.Now() - start
 				hitCount++

@@ -33,6 +33,7 @@ import (
 	"herdkv/internal/kv"
 	"herdkv/internal/mica"
 	"herdkv/internal/mux"
+	"herdkv/internal/nearcache"
 	"herdkv/internal/pilaf"
 	"herdkv/internal/sim"
 	"herdkv/internal/telemetry"
@@ -111,8 +112,9 @@ type Client = core.Client
 // Config parameterizes a HERD deployment.
 type Config = core.Config
 
-// Result is the outcome of an operation, shared by every system
-// (PilafResult and FarmResult are aliases of the same type).
+// Result is the outcome of an operation, shared by every system —
+// Pilaf and FaRM clients deliver the same type, so application code
+// switches on Result.Status regardless of backend.
 type Result = core.Result
 
 // DefaultConfig mirrors the paper's evaluation setup (6 server
@@ -199,6 +201,39 @@ func NewFleet(machines []*Machine, cfg FleetConfig) (*FleetDeployment, error) {
 	return fleet.NewDeployment(machines, cfg)
 }
 
+// Client near cache — leased local reads with thundering-herd
+// suppression (docs/CACHING.md).
+
+// NearCache wraps any KV client with a bounded client-side cache: GET
+// hits are served locally for a bounded-staleness window (the
+// server's lease when Config.LeaseTTL grants one, capped by the
+// cache's own TTL), concurrent misses for one key collapse into a
+// single origin fill, and writes through the wrapper invalidate
+// locally at submit. It implements KV and BatchGetter, so it drops in
+// front of a HERD client, a fleet client or a mux channel unchanged.
+type NearCache = nearcache.Cache
+
+// NearCacheConfig parameterizes a near cache (TTL, lease mode,
+// capacity, herd-wait bound).
+type NearCacheConfig = nearcache.Config
+
+// DefaultNearCacheConfig returns the near-cache defaults (25us TTL,
+// 1024 entries, herd wait 4x TTL, leases off).
+func DefaultNearCacheConfig() NearCacheConfig { return nearcache.DefaultConfig() }
+
+// NewNearCache wraps inner with a near cache driven by the cluster's
+// virtual clock (pass cl.Eng). tel may be nil.
+func NewNearCache(inner KV, clk Clock, tel *Telemetry, cfg NearCacheConfig) *NearCache {
+	return nearcache.New(inner, clk, tel, cfg)
+}
+
+// Clock is the virtual-time source (Cluster.Eng implements it).
+type Clock = sim.Clock
+
+// BatchGetter is the optional batched-read interface: fleet clients
+// and near caches implement it in addition to KV.
+type BatchGetter = kv.BatchGetter
+
 // Endpoint multiplexing — many logical clients over a small shared QP
 // pool per host (docs/SCALABILITY.md).
 
@@ -243,7 +278,6 @@ type (
 	PilafServer = pilaf.Server
 	PilafClient = pilaf.Client
 	PilafConfig = pilaf.Config
-	PilafResult = pilaf.Result
 )
 
 // NewPilafServer initializes Pilaf-em-OPT on machine m.
@@ -260,7 +294,6 @@ type (
 	FarmServer = farm.Server
 	FarmClient = farm.Client
 	FarmConfig = farm.Config
-	FarmResult = farm.Result
 	FarmMode   = farm.Mode
 )
 

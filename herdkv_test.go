@@ -26,7 +26,7 @@ func TestFacadeQuickstart(t *testing.T) {
 		cli.Get(key, func(r herdkv.Result) { got = r })
 	})
 	cl.Eng.Run()
-	if !got.OK || string(got.Value) != "facade" {
+	if got.Status != herdkv.StatusHit || string(got.Value) != "facade" {
 		t.Fatalf("round trip through facade: %+v", got)
 	}
 	if got.Latency < herdkv.Microsecond || got.Latency > 10*herdkv.Microsecond {
@@ -65,6 +65,49 @@ func TestFacadeMux(t *testing.T) {
 	}
 }
 
+// TestFacadeNearCache drives the near-cache wrapper through the
+// facade: a leased HERD server behind a NearCache serves the second
+// read locally, and the wrapper satisfies both KV and BatchGetter.
+func TestFacadeNearCache(t *testing.T) {
+	cl := herdkv.NewCluster(herdkv.Apt(), 2, 1)
+	cfg := herdkv.DefaultConfig()
+	cfg.NS = 2
+	cfg.MaxClients = 1
+	cfg.LeaseTTL = 20 * herdkv.Microsecond
+	srv, err := herdkv.NewServer(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := srv.ConnectClient(cl.Machine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nccfg := herdkv.DefaultNearCacheConfig()
+	nccfg.Leases = true
+	nc := herdkv.NewNearCache(cli, cl.Eng, herdkv.NewTelemetry(), nccfg)
+	var _ herdkv.KV = nc
+	var _ herdkv.BatchGetter = nc
+
+	key := herdkv.KeyFromUint64(3)
+	var fill, cached herdkv.Result
+	nc.Put(key, []byte("near"), func(herdkv.Result) {
+		nc.Get(key, func(r herdkv.Result) {
+			fill = r
+			nc.Get(key, func(r herdkv.Result) { cached = r })
+		})
+	})
+	cl.Eng.Run()
+	if fill.Status != herdkv.StatusHit || fill.Lease == 0 {
+		t.Fatalf("fill read %+v, want leased hit", fill)
+	}
+	if cached.Status != herdkv.StatusHit || string(cached.Value) != "near" {
+		t.Fatalf("cached read %+v", cached)
+	}
+	if cached.Latency >= fill.Latency {
+		t.Fatalf("cached read latency %v not below origin fill %v", cached.Latency, fill.Latency)
+	}
+}
+
 func TestFacadeBaselines(t *testing.T) {
 	cl := herdkv.NewCluster(herdkv.Susitna(), 3, 2)
 	key := herdkv.KeyFromUint64(7)
@@ -80,10 +123,10 @@ func TestFacadeBaselines(t *testing.T) {
 		t.Fatal(err)
 	}
 	psrv.Insert(key, []byte("pilaf"))
-	var pres herdkv.PilafResult
-	pcli.Get(key, func(r herdkv.PilafResult) { pres = r })
+	var pres herdkv.Result
+	pcli.Get(key, func(r herdkv.Result) { pres = r })
 	cl.Eng.Run()
-	if !pres.OK || string(pres.Value) != "pilaf" {
+	if pres.Status != herdkv.StatusHit || string(pres.Value) != "pilaf" {
 		t.Fatalf("pilaf facade: %+v", pres)
 	}
 
@@ -99,10 +142,10 @@ func TestFacadeBaselines(t *testing.T) {
 		t.Fatal(err)
 	}
 	fsrv.Insert(key, []byte("farm"))
-	var fres herdkv.FarmResult
-	fcli.Get(key, func(r herdkv.FarmResult) { fres = r })
+	var fres herdkv.Result
+	fcli.Get(key, func(r herdkv.Result) { fres = r })
 	cl.Eng.Run()
-	if !fres.OK || string(fres.Value) != "farm" {
+	if fres.Status != herdkv.StatusHit || string(fres.Value) != "farm" {
 		t.Fatalf("farm facade: %+v", fres)
 	}
 }

@@ -352,8 +352,8 @@ func (c *Client) Get(key kv.Key, cb func(Result)) error {
 	return nil
 }
 
-// Delete removes key; cb runs when the ack arrives. Result.OK reports
-// whether the key was present.
+// Delete removes key; cb runs when the ack arrives. Result.Status
+// reports whether the key was present (StatusHit) or absent.
 func (c *Client) Delete(key kv.Key, cb func(Result)) error {
 	if key.IsZero() {
 		return mica.ErrZeroKey
@@ -889,15 +889,21 @@ func (c *Client) handleResponse(proc int, comp verbs.Completion) {
 	case opDelete:
 		c.latDel.RecordTime(res.Latency)
 	}
-	res.OK = status == statusOK
 	res.Status = kv.StatusMiss
-	if res.OK {
+	if status == statusOK {
 		res.Status = kv.StatusHit
 	}
-	if op.kind == opGet && res.OK {
+	if op.kind == opGet && res.Status == kv.StatusHit {
 		vlen := int(binary.LittleEndian.Uint16(comp.Data[1:3]))
 		if respHdr+vlen <= len(comp.Data) {
 			res.Value = append([]byte(nil), comp.Data[respHdr:respHdr+vlen]...)
+			// A lease-granting server appends the absolute expiry after
+			// the value (Config.LeaseTTL). A short frame (corruption
+			// injection truncating the tail) leaves Lease zero — "no
+			// lease" — which is always safe for a cache to observe.
+			if c.srv.cfg.LeaseTTL > 0 && len(comp.Data) >= respHdr+vlen+leaseBytes {
+				res.Lease = sim.Time(binary.LittleEndian.Uint64(comp.Data[respHdr+vlen:]))
+			}
 		}
 	}
 

@@ -227,7 +227,7 @@ func TestSlotCollisionParks(t *testing.T) {
 	get := func(i int) func() {
 		return func() {
 			c.Get(keys[i], func(r Result) {
-				if r.Err != nil || !r.OK {
+				if r.Err != nil || r.Status != kv.StatusHit {
 					t.Errorf("GET %d failed: %+v", i, r)
 				}
 				got[i] = r.Value
@@ -268,7 +268,7 @@ func TestRequestCorruptionRejected(t *testing.T) {
 	c.Put(key, []byte("precious"), func(r Result) { res = r; calls++ })
 	cl.Eng.Run()
 
-	if calls != 1 || res.Err != nil || !res.OK {
+	if calls != 1 || res.Err != nil || res.Status != kv.StatusHit {
 		t.Fatalf("PUT through corruption window: calls=%d res=%+v", calls, res)
 	}
 	if srv.Rejected() == 0 {
@@ -280,7 +280,7 @@ func TestRequestCorruptionRejected(t *testing.T) {
 	var got Result
 	c.Get(key, func(r Result) { got = r })
 	cl.Eng.Run()
-	if !got.OK || string(got.Value) != "precious" {
+	if got.Status != kv.StatusHit || string(got.Value) != "precious" {
 		t.Fatalf("GET after corrupted-then-retried PUT: %+v", got)
 	}
 }
@@ -301,7 +301,7 @@ func TestResponseCorruptionRejected(t *testing.T) {
 	c.Get(key, func(r Result) { res = r; calls++ })
 	cl.Eng.Run()
 
-	if calls != 1 || res.Err != nil || !res.OK || string(res.Value) != "truth" {
+	if calls != 1 || res.Err != nil || res.Status != kv.StatusHit || string(res.Value) != "truth" {
 		t.Fatalf("GET through response corruption: calls=%d res=%+v", calls, res)
 	}
 	if c.CorruptResponses() == 0 {

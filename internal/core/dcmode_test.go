@@ -23,7 +23,7 @@ func TestDCModeRoundTrip(t *testing.T) {
 		clients[1].Get(key, func(r Result) { get = r })
 	})
 	cl.Eng.Run()
-	if !get.OK || !bytes.Equal(get.Value, val) {
+	if get.Status != kv.StatusHit || !bytes.Equal(get.Value, val) {
 		t.Fatalf("GET = %+v", get)
 	}
 }
@@ -34,7 +34,7 @@ func TestDCModeManyOps(t *testing.T) {
 	oks := 0
 	for i := 0; i < n; i++ {
 		clients[i%3].Put(kv.FromUint64(uint64(i+1)), []byte{byte(i)}, func(r Result) {
-			if r.OK {
+			if r.Status == kv.StatusHit {
 				oks++
 			}
 		})
@@ -71,7 +71,7 @@ func TestDCModeServerContextScales(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.Put(kv.FromUint64(uint64(i+1)), []byte{1}, func(r Result) {
-			if r.OK {
+			if r.Status == kv.StatusHit {
 				done++
 			}
 		})

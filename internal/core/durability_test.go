@@ -96,7 +96,7 @@ func TestSyncHoldsAckUntilDurable(t *testing.T) {
 		var res Result
 		clients[0].Put(kv.FromUint64(1), []byte("v"), func(r Result) { res = r })
 		cl.Eng.Run()
-		if !res.OK {
+		if res.Status != kv.StatusHit {
 			t.Fatalf("PUT under mode %d failed: %+v", mode, res)
 		}
 		if srv.WAL().Appends() == 0 {

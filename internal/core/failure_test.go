@@ -23,13 +23,13 @@ func TestDeleteRoundTrip(t *testing.T) {
 		})
 	})
 	cl.Eng.Run()
-	if !delRes.OK {
+	if delRes.Status != kv.StatusHit {
 		t.Fatalf("DELETE of present key: %+v", delRes)
 	}
-	if getRes.OK {
+	if getRes.Status == kv.StatusHit {
 		t.Fatal("key still present after DELETE")
 	}
-	if del2.OK {
+	if del2.Status == kv.StatusHit {
 		t.Fatal("second DELETE should report not-found")
 	}
 	if srv.Deletes() != 2 {
@@ -98,7 +98,7 @@ func TestRetriesRecoverFromLoss(t *testing.T) {
 		if i%2 == 0 {
 			c.Put(key, []byte{byte(i)}, func(r Result) {
 				completed++
-				if r.OK {
+				if r.Status == kv.StatusHit {
 					ok++
 				}
 				next(i + 1)
@@ -106,7 +106,7 @@ func TestRetriesRecoverFromLoss(t *testing.T) {
 		} else {
 			c.Get(key, func(r Result) {
 				completed++
-				if r.OK && r.Value[0] == byte(i-1) {
+				if r.Status == kv.StatusHit && r.Value[0] == byte(i-1) {
 					ok++
 				}
 				next(i + 1)
@@ -166,7 +166,7 @@ func TestGapRecovery(t *testing.T) {
 	var order []int
 	cl.Net.SetLossRate(1.0)
 	c.Put(kv.FromUint64(1), []byte{1}, func(r Result) {
-		if r.OK {
+		if r.Status == kv.StatusHit {
 			order = append(order, 1)
 		}
 	})
@@ -175,7 +175,7 @@ func TestGapRecovery(t *testing.T) {
 	for i := 2; i <= 4; i++ {
 		i := i
 		c.Put(kv.FromUint64(uint64(i)), []byte{byte(i)}, func(r Result) {
-			if r.OK {
+			if r.Status == kv.StatusHit {
 				order = append(order, i)
 			}
 		})

@@ -79,6 +79,14 @@ const (
 // response, encoded as uint32 nanoseconds.
 const busyHintBytes = 4
 
+// leaseBytes is the size of the freshness-lease expiry a lease-granting
+// server (Config.LeaseTTL > 0) appends after the value on GET-hit
+// responses: the absolute virtual-time expiry as a little-endian
+// uint64. The vlen header field still names the value length alone, so
+// lease-blind readers of the frame keep working; clients that know the
+// server grants leases read the trailing bytes into Result.Lease.
+const leaseBytes = 8
+
 // Retry-after hint bounds: the hint is the estimated queue drain time,
 // floored so a cold EWMA still spaces retries out, capped so a client
 // never parks an op for longer than any plausible drain.
@@ -127,6 +135,16 @@ type Config struct {
 	// peak throughput at a small latency cost. 0 or 1 posts responses
 	// individually (the paper's behavior).
 	ResponseBatch int
+
+	// LeaseTTL > 0 makes every GET hit carry a freshness lease expiring
+	// LeaseTTL after the serve time: the server promises nothing about
+	// the value past that instant, and a client-side near cache
+	// (internal/nearcache) may serve the value locally until it. The
+	// server keeps no per-lease state — writes are never blocked on
+	// outstanding leases, so a lease bounds staleness rather than
+	// forbidding it (see docs/CACHING.md). Costs leaseBytes per GET-hit
+	// response on the wire. 0 grants no leases.
+	LeaseTTL sim.Time
 
 	// RetryTimeout enables application-level retries: UC/UD sacrifice
 	// transport-level retransmission, so on (rare) packet loss the
@@ -380,7 +398,7 @@ func NewServer(m *cluster.Machine, cfg Config) (*Server, error) {
 	s.svcEWMA = make([]sim.Time, cfg.NS)
 	s.respScratch = make([][]byte, cfg.NS)
 	for i := range s.respScratch {
-		s.respScratch[i] = make([]byte, respHdr+mica.MaxValueSize)
+		s.respScratch[i] = make([]byte, respHdr+mica.MaxValueSize+leaseBytes)
 	}
 	s.telRejected = m.Verbs.Telemetry().Counter("herd.requests.rejected")
 	s.telShed = m.Verbs.Telemetry().Counter("herd.shed")
@@ -991,8 +1009,18 @@ func (s *Server) execute(req request) {
 			s.gets++
 			if ok {
 				s.getHits++
-				resp = encodeRespHeader(s.respFor(req.proc, len(v)), statusOK, len(v), req.rMod)
+				ext := 0
+				if s.cfg.LeaseTTL > 0 {
+					ext = leaseBytes
+				}
+				resp = encodeRespHeader(s.respFor(req.proc, len(v)+ext), statusOK, len(v), req.rMod)
 				copy(resp[respHdr:], v)
+				if ext > 0 {
+					// Grant a lease expiring LeaseTTL from now; the header's
+					// vlen stays the value length, the frame just extends.
+					resp = resp[:respHdr+len(v)+ext]
+					binary.LittleEndian.PutUint64(resp[respHdr+len(v):], uint64(at+s.cfg.LeaseTTL))
+				}
 			} else {
 				resp = encodeRespHeader(s.respFor(req.proc, 0), statusNotFound, 0, req.rMod)
 			}

@@ -49,10 +49,10 @@ func TestPutGetRoundTrip(t *testing.T) {
 	})
 	cl.Eng.Run()
 
-	if !putRes.OK {
+	if putRes.Status != kv.StatusHit {
 		t.Fatalf("PUT failed: %+v", putRes)
 	}
-	if !getRes.OK || !bytes.Equal(getRes.Value, val) {
+	if getRes.Status != kv.StatusHit || !bytes.Equal(getRes.Value, val) {
 		t.Fatalf("GET = %+v", getRes)
 	}
 	if getRes.Latency <= 0 || getRes.Latency > 20*sim.Microsecond {
@@ -69,7 +69,7 @@ func TestGetMissingKey(t *testing.T) {
 	if !done {
 		t.Fatal("no response")
 	}
-	if res.OK || res.Value != nil {
+	if res.Status == kv.StatusHit || res.Value != nil {
 		t.Fatalf("miss returned %+v", res)
 	}
 }
@@ -83,7 +83,7 @@ func TestManyKeysAcrossPartitions(t *testing.T) {
 		key := kv.FromUint64(uint64(i + 1))
 		c := clients[i%2]
 		c.Put(key, []byte{byte(i), byte(i >> 8)}, func(r Result) {
-			if r.OK {
+			if r.Status == kv.StatusHit {
 				okPuts++
 			}
 		})
@@ -109,7 +109,7 @@ func TestManyKeysAcrossPartitions(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		clients[(i+1)%2].Get(kv.FromUint64(uint64(i+1)), func(r Result) {
-			if r.OK && len(r.Value) == 2 && r.Value[0] == byte(i) && r.Value[1] == byte(i>>8) {
+			if r.Status == kv.StatusHit && len(r.Value) == 2 && r.Value[0] == byte(i) && r.Value[1] == byte(i>>8) {
 				okGets++
 			}
 		})
@@ -221,8 +221,8 @@ func TestLargeValueRoundTrip(t *testing.T) {
 		clients[0].Get(key, func(r Result) { got = r })
 	})
 	cl.Eng.Run()
-	if !got.OK || !bytes.Equal(got.Value, val) {
-		t.Fatalf("1000 B value round trip failed (ok=%v len=%d)", got.OK, len(got.Value))
+	if got.Status != kv.StatusHit || !bytes.Equal(got.Value, val) {
+		t.Fatalf("1000 B value round trip failed (status=%v len=%d)", got.Status, len(got.Value))
 	}
 	// A 1000 B response must have used the non-inlined path.
 	_, nonInline := srv.InlineStats()

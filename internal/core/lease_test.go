@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"herdkv/internal/kv"
+	"herdkv/internal/sim"
+)
+
+// TestLeaseGrantOnGetHit pins the lease wire extension: with LeaseTTL
+// set, a GET hit carries an absolute expiry LeaseTTL past the serve
+// time; misses and writes carry none.
+func TestLeaseGrantOnGetHit(t *testing.T) {
+	cfg := smallConfig()
+	cfg.LeaseTTL = 8 * sim.Microsecond
+	cl, srv, clients := newHERD(t, cfg, 1)
+	c := clients[0]
+	key := kv.FromUint64(1)
+	val := []byte("leased value")
+	srv.Preload(key, val)
+
+	var hit, miss, put Result
+	c.Get(key, func(r Result) { hit = r })
+	c.Get(kv.FromUint64(404), func(r Result) { miss = r })
+	c.Put(kv.FromUint64(2), val, func(r Result) { put = r })
+	cl.Eng.Run()
+	now := cl.Eng.Now()
+
+	if hit.Status != kv.StatusHit || !bytes.Equal(hit.Value, val) {
+		t.Fatalf("GET = %+v", hit)
+	}
+	// The lease expires LeaseTTL after the server-side serve instant,
+	// which precedes callback delivery by the response flight time.
+	if hit.Lease <= 0 || hit.Lease > now+cfg.LeaseTTL {
+		t.Fatalf("lease expiry %v implausible at now=%v ttl=%v", hit.Lease, now, cfg.LeaseTTL)
+	}
+	if hit.Lease <= now-cfg.LeaseTTL {
+		t.Fatalf("lease expiry %v already long past at now=%v", hit.Lease, now)
+	}
+	if miss.Lease != 0 {
+		t.Fatalf("miss carried a lease (%v)", miss.Lease)
+	}
+	if put.Lease != 0 {
+		t.Fatalf("PUT carried a lease (%v)", put.Lease)
+	}
+}
+
+// TestNoLeaseWhenDisabled pins the default wire format: without
+// LeaseTTL the response frame is unchanged and Lease stays zero.
+func TestNoLeaseWhenDisabled(t *testing.T) {
+	cl, srv, clients := newHERD(t, smallConfig(), 1)
+	key := kv.FromUint64(3)
+	srv.Preload(key, []byte("v"))
+	var got Result
+	clients[0].Get(key, func(r Result) { got = r })
+	cl.Eng.Run()
+	if got.Status != kv.StatusHit || got.Lease != 0 {
+		t.Fatalf("GET = %+v, want hit with zero lease", got)
+	}
+}
+
+// TestLeaseLargeValueInline ensures the lease tail composes with the
+// largest value and the inline-cutoff decision (the frame grows by
+// leaseBytes, the header vlen does not).
+func TestLeaseLargeValue(t *testing.T) {
+	cfg := smallConfig()
+	cfg.LeaseTTL = 5 * sim.Microsecond
+	cl, srv, clients := newHERD(t, cfg, 1)
+	key := kv.FromUint64(4)
+	val := make([]byte, 1000)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	srv.Preload(key, val)
+	var got Result
+	clients[0].Get(key, func(r Result) { got = r })
+	cl.Eng.Run()
+	if got.Status != kv.StatusHit || !bytes.Equal(got.Value, val) {
+		t.Fatalf("1000 B leased GET failed (status=%v len=%d)", got.Status, len(got.Value))
+	}
+	if got.Lease <= 0 {
+		t.Fatal("large-value GET lost its lease")
+	}
+}

@@ -48,7 +48,7 @@ func TestModelCheckEndToEnd(t *testing.T) {
 				c.Get(key, func(r Result) {
 					completed++
 					want, in := model[key]
-					if r.OK {
+					if r.Status == kv.StatusHit {
 						if !in || !bytes.Equal(r.Value, want) {
 							violations++
 						}
@@ -63,7 +63,7 @@ func TestModelCheckEndToEnd(t *testing.T) {
 				val := []byte{byte(raw), byte(raw >> 8), byte(i)}
 				c.Put(key, val, func(r Result) {
 					completed++
-					if r.OK {
+					if r.Status == kv.StatusHit {
 						model[key] = val
 					}
 					step(i + 1)
@@ -72,7 +72,7 @@ func TestModelCheckEndToEnd(t *testing.T) {
 				c.Delete(key, func(r Result) {
 					completed++
 					_, in := model[key]
-					if r.OK != in {
+					if (r.Status == kv.StatusHit) != in {
 						violations++
 					}
 					delete(model, key)

@@ -17,7 +17,7 @@ func TestResponseBatchingCorrectness(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		clients[i%2].Put(kv.FromUint64(uint64(i+1)), []byte{byte(i)}, func(r Result) {
-			if r.OK {
+			if r.Status == kv.StatusHit {
 				oks++
 			}
 		})
@@ -30,7 +30,7 @@ func TestResponseBatchingCorrectness(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		clients[(i+1)%2].Get(kv.FromUint64(uint64(i+1)), func(r Result) {
-			if r.OK && r.Value[0] == byte(i) {
+			if r.Status == kv.StatusHit && r.Value[0] == byte(i) {
 				got++
 			}
 		})

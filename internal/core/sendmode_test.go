@@ -25,7 +25,7 @@ func TestSendModeRoundTrip(t *testing.T) {
 		clients[1].Get(key, func(r Result) { get = r })
 	})
 	cl.Eng.Run()
-	if !get.OK || !bytes.Equal(get.Value, val) {
+	if get.Status != kv.StatusHit || !bytes.Equal(get.Value, val) {
 		t.Fatalf("GET = %+v", get)
 	}
 	gets, _, puts := srv.Stats()
@@ -46,7 +46,7 @@ func TestSendModeDelete(t *testing.T) {
 		})
 	})
 	cl.Eng.Run()
-	if !del.OK || get.OK {
+	if del.Status != kv.StatusHit || get.Status == kv.StatusHit {
 		t.Fatalf("delete=%+v get=%+v", del, get)
 	}
 }
@@ -58,7 +58,7 @@ func TestSendModeManyOps(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		clients[i%3].Put(kv.FromUint64(uint64(i+1)), []byte{byte(i)}, func(r Result) {
-			if r.OK {
+			if r.Status == kv.StatusHit {
 				oks++
 			}
 		})
@@ -71,7 +71,7 @@ func TestSendModeManyOps(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		clients[(i+1)%3].Get(kv.FromUint64(uint64(i+1)), func(r Result) {
-			if r.OK && r.Value[0] == byte(i) {
+			if r.Status == kv.StatusHit && r.Value[0] == byte(i) {
 				got++
 			}
 		})
@@ -91,8 +91,8 @@ func TestSendModeLargeValues(t *testing.T) {
 		clients[0].Get(key, func(r Result) { get = r })
 	})
 	cl.Eng.Run()
-	if !get.OK || !bytes.Equal(get.Value, val) {
-		t.Fatalf("900 B send-mode value failed (ok=%v len=%d)", get.OK, len(get.Value))
+	if get.Status != kv.StatusHit || !bytes.Equal(get.Value, val) {
+		t.Fatalf("900 B send-mode value failed (status=%v len=%d)", get.Status, len(get.Value))
 	}
 }
 
@@ -212,7 +212,7 @@ func TestSendModeTinyConfig(t *testing.T) {
 			return
 		}
 		clients[0].Put(kv.FromUint64(i+1), []byte{byte(i)}, func(r Result) {
-			if r.OK {
+			if r.Status == kv.StatusHit {
 				done++
 			}
 			next(i + 1)

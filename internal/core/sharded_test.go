@@ -38,7 +38,7 @@ func TestShardedRoundTrip(t *testing.T) {
 	oks := 0
 	for i := 0; i < n; i++ {
 		clients[i%2].Put(kv.FromUint64(uint64(i+1)), []byte{byte(i)}, func(r Result) {
-			if r.OK {
+			if r.Status == kv.StatusHit {
 				oks++
 			}
 		})
@@ -52,7 +52,7 @@ func TestShardedRoundTrip(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		clients[(i+1)%2].Get(kv.FromUint64(uint64(i+1)), func(r Result) {
-			if r.OK && bytes.Equal(r.Value, []byte{byte(i)}) {
+			if r.Status == kv.StatusHit && bytes.Equal(r.Value, []byte{byte(i)}) {
 				got++
 			}
 		})
@@ -93,7 +93,7 @@ func TestShardedDelete(t *testing.T) {
 		})
 	})
 	cl.Eng.Run()
-	if gone.OK {
+	if gone.Status == kv.StatusHit {
 		t.Fatal("key survived sharded delete")
 	}
 }
@@ -194,7 +194,7 @@ func TestShardedPreloadAndAccessors(t *testing.T) {
 	var got Result
 	clients[0].Get(key, func(r Result) { got = r })
 	cl.Eng.Run()
-	if !got.OK || string(got.Value) != "warm" {
+	if got.Status != kv.StatusHit || string(got.Value) != "warm" {
 		t.Fatalf("preloaded GET = %+v", got)
 	}
 	if clients[0].Completed() == 0 {

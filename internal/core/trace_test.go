@@ -36,7 +36,7 @@ func TestGetEmitsFullSpanSequence(t *testing.T) {
 	var res Result
 	c.Get(key, func(r Result) { res = r })
 	cl.Eng.Run()
-	if !res.OK {
+	if res.Status != kv.StatusHit {
 		t.Fatalf("GET failed: %+v", res)
 	}
 
@@ -116,7 +116,7 @@ func TestSendModeTracePropagates(t *testing.T) {
 	var res Result
 	c.Get(key, func(r Result) { res = r })
 	cl.Eng.Run()
-	if !res.OK {
+	if res.Status != kv.StatusHit {
 		t.Fatalf("GET failed: %+v", res)
 	}
 

@@ -285,7 +285,7 @@ func (c *Client) onNotify(off int) {
 	c.completed++
 	c.finishOp()
 	if op.cb != nil {
-		op.cb(Result{Key: op.key, OK: ok, Status: statusOf(ok), Latency: c.now() - op.issuedAt})
+		op.cb(Result{Key: op.key, Status: statusOf(ok), Latency: c.now() - op.issuedAt})
 	}
 }
 
@@ -380,7 +380,9 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 
 	finish := func() {
 		res.Latency = c.now() - start
-		res.Status = statusOf(res.OK)
+		if res.Status == kv.StatusUnknown {
+			res.Status = kv.StatusMiss
+		}
 		c.completed++
 		c.finishOp()
 		if cb != nil {
@@ -403,7 +405,7 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 		if c.srv.cfg.Mode == InlineMode {
 			v, ok := hopscotch.ParseNeighborhoodInline(raw, key, c.srv.cfg.ValueSize)
 			if ok {
-				res.OK = true
+				res.Status = kv.StatusHit
 				res.Value = append([]byte(nil), v...)
 			}
 			finish()
@@ -426,7 +428,7 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 			return
 		}
 		c.awaitRead(func() {
-			res.OK = true
+			res.Status = kv.StatusHit
 			res.Value = append([]byte(nil), c.scratch.Bytes()[vlo:vlo+int(vlen)]...)
 			finish()
 		})

@@ -41,11 +41,11 @@ func TestInlinePutThenGet(t *testing.T) {
 		clients[0].Get(key, func(r Result) { get = r })
 	})
 	cl.Eng.Run()
-	if !put.OK {
+	if put.Status != kv.StatusHit {
 		t.Fatalf("PUT = %+v", put)
 	}
-	if !get.OK || !bytes.Equal(get.Value, val32(7)) {
-		t.Fatalf("GET = ok:%v", get.OK)
+	if get.Status != kv.StatusHit || !bytes.Equal(get.Value, val32(7)) {
+		t.Fatalf("GET = status:%v", get.Status)
 	}
 	if get.Reads != 1 {
 		t.Fatalf("inline GET used %d READs, want 1", get.Reads)
@@ -61,8 +61,8 @@ func TestVarPutThenGet(t *testing.T) {
 		clients[0].Get(key, func(r Result) { get = r })
 	})
 	cl.Eng.Run()
-	if !get.OK || !bytes.Equal(get.Value, want) {
-		t.Fatalf("GET = ok:%v val:%q", get.OK, get.Value)
+	if get.Status != kv.StatusHit || !bytes.Equal(get.Value, want) {
+		t.Fatalf("GET = status:%v val:%q", get.Status, get.Value)
 	}
 	if get.Reads != 2 {
 		t.Fatalf("var GET used %d READs, want 2", get.Reads)
@@ -76,8 +76,8 @@ func TestGetMiss(t *testing.T) {
 		done := false
 		clients[0].Get(kv.FromUint64(404), func(r Result) { res, done = r, true })
 		cl.Eng.Run()
-		if !done || res.OK {
-			t.Fatalf("mode %d miss: done=%v ok=%v", mode, done, res.OK)
+		if !done || res.Status == kv.StatusHit {
+			t.Fatalf("mode %d miss: done=%v status=%v", mode, done, res.Status)
 		}
 	}
 }
@@ -112,7 +112,7 @@ func TestManyClientsManyKeys(t *testing.T) {
 	oks := 0
 	for i := 0; i < n; i++ {
 		clients[i%3].Put(kv.FromUint64(uint64(i+1)), val32(byte(i)), func(r Result) {
-			if r.OK {
+			if r.Status == kv.StatusHit {
 				oks++
 			}
 		})
@@ -128,7 +128,7 @@ func TestManyClientsManyKeys(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		clients[(i+2)%3].Get(kv.FromUint64(uint64(i+1)), func(r Result) {
-			if r.OK && r.Value[0] == byte(i) {
+			if r.Status == kv.StatusHit && r.Value[0] == byte(i) {
 				got++
 			}
 		})

@@ -90,7 +90,7 @@ func (s *Symmetric) Get(from int, key kv.Key, cb func(Result)) error {
 		start := s.cl.Eng.Now()
 		s.localAccess(from, func() {
 			v, ok := s.shards[owner].table.Lookup(key)
-			res := Result{Key: key, IsGet: true, OK: ok, Status: statusOf(ok), Latency: s.cl.Eng.Now() - start}
+			res := Result{Key: key, IsGet: true, Status: statusOf(ok), Latency: s.cl.Eng.Now() - start}
 			if ok {
 				res.Value = append([]byte(nil), v...)
 			}
@@ -112,7 +112,7 @@ func (s *Symmetric) Put(from int, key kv.Key, value []byte, cb func(Result)) err
 		s.localAccess(from, func() {
 			err := s.shards[owner].table.Insert(key, val)
 			if cb != nil {
-				cb(Result{Key: key, OK: err == nil, Status: statusOf(err == nil), Latency: s.cl.Eng.Now() - start})
+				cb(Result{Key: key, Status: statusOf(err == nil), Latency: s.cl.Eng.Now() - start})
 			}
 		})
 		return nil

@@ -63,10 +63,10 @@ func TestSymmetricRemoteAndLocalOps(t *testing.T) {
 		})
 	})
 	cl.Eng.Run()
-	if !localGet.OK || !bytes.Equal(localGet.Value, val(1)) {
+	if localGet.Status != kv.StatusHit || !bytes.Equal(localGet.Value, val(1)) {
 		t.Fatalf("local GET = %+v", localGet)
 	}
-	if !remoteGet.OK || !bytes.Equal(remoteGet.Value, val(2)) {
+	if remoteGet.Status != kv.StatusHit || !bytes.Equal(remoteGet.Value, val(2)) {
 		t.Fatalf("remote GET = %+v", remoteGet)
 	}
 	// Local access skips the network entirely.
@@ -86,7 +86,7 @@ func TestSymmetricCrossMachineVisibility(t *testing.T) {
 		sym.Get(2, key, func(r Result) { got = r })
 	})
 	cl.Eng.Run()
-	if !got.OK || !bytes.Equal(got.Value, val(7)) {
+	if got.Status != kv.StatusHit || !bytes.Equal(got.Value, val(7)) {
 		t.Fatalf("cross-machine read = %+v", got)
 	}
 }

@@ -32,9 +32,10 @@ var ErrValueTooLarge = errors.New("fleet: value exceeds maximum size")
 type Client struct {
 	d       *Deployment
 	machine *cluster.Machine
-	subs    []kv.KV    // indexed by shard id; grows with AddShard
-	suspect []sim.Time // per shard id: avoid reads until this time
-	brk     []breaker  // per shard id: brownout circuit breaker
+	subs    []kv.KV     // indexed by shard id; grows with AddShard
+	suspect []sim.Time  // per shard id: avoid reads until this time
+	brk     []breaker   // per shard id: brownout circuit breaker
+	hot     *hotTracker // hot-key detector, nil when HotKeyTrack is 0
 
 	issued    uint64
 	completed uint64
@@ -48,20 +49,23 @@ type Client struct {
 	brkOpens     uint64
 	brkCloses    uint64
 	brkProbes    uint64
+	hotWidened   uint64
 
-	telIssued    *telemetry.Counter
-	telCompleted *telemetry.Counter
-	telFailed    *telemetry.Counter
-	telReroutes  *telemetry.Counter
-	telReplica   *telemetry.Counter
-	telFanout    *telemetry.Counter
-	telSuspected *telemetry.Counter
-	telMGOps     *telemetry.Counter
-	telMGKeys    *telemetry.Counter
-	telBrkOpened *telemetry.Counter
-	telBrkClosed *telemetry.Counter
-	telBrkProbes *telemetry.Counter
-	telBrkState  *telemetry.Gauge
+	telIssued     *telemetry.Counter
+	telCompleted  *telemetry.Counter
+	telFailed     *telemetry.Counter
+	telReroutes   *telemetry.Counter
+	telReplica    *telemetry.Counter
+	telFanout     *telemetry.Counter
+	telSuspected  *telemetry.Counter
+	telMGOps      *telemetry.Counter
+	telMGKeys     *telemetry.Counter
+	telBrkOpened  *telemetry.Counter
+	telBrkClosed  *telemetry.Counter
+	telBrkProbes  *telemetry.Counter
+	telBrkState   *telemetry.Gauge
+	telHotWidened *telemetry.Counter
+	telHotKeys    *telemetry.Gauge
 }
 
 // breakerState is the per-shard brownout circuit-breaker state.
@@ -117,6 +121,11 @@ func (d *Deployment) ConnectClient(m *cluster.Machine) (*Client, error) {
 	c.telBrkClosed = tel.Counter("fleet.breaker.closed")
 	c.telBrkProbes = tel.Counter("fleet.breaker.probes")
 	c.telBrkState = tel.Gauge("fleet.breaker_state")
+	c.telHotWidened = tel.Counter("fleet.hotkey.widened")
+	c.telHotKeys = tel.Gauge("fleet.hotkey.hot")
+	if d.cfg.HotKeyTrack > 0 {
+		c.hot = newHotTracker(d.cfg.HotKeyTrack, d.cfg.HotKeyThreshold, d.cfg.HotKeyWindow)
+	}
 	for _, sh := range d.shards {
 		if !sh.live {
 			continue
@@ -183,6 +192,10 @@ func (c *Client) Suspected() uint64 { return c.suspected }
 func (c *Client) BreakerOpens() uint64  { return c.brkOpens }
 func (c *Client) BreakerCloses() uint64 { return c.brkCloses }
 func (c *Client) BreakerProbes() uint64 { return c.brkProbes }
+
+// HotWidened counts reads of a hot key that widening steered to a
+// non-primary start of the replica order.
+func (c *Client) HotWidened() uint64 { return c.hotWidened }
 
 // BreakerOpen reports whether shard id's breaker is currently steering
 // reads away (open or mid-probe).
@@ -325,6 +338,9 @@ func (c *Client) Get(key kv.Key, cb func(kv.Result)) error {
 		return ErrNoShards
 	}
 	order := c.readOrder(reps)
+	if c.hot != nil {
+		order = c.widen(key, order)
+	}
 	c.start()
 	begun := c.now()
 	c.tryGet(key, reps[0], order, 0, begun, cb)

@@ -55,6 +55,19 @@ type Config struct {
 	// from a shard before allowing a half-open probe read (default
 	// 200us).
 	BreakerCooldown sim.Time
+	// HotKeyTrack is the number of keys each client's hot-key detector
+	// tracks (a space-saving top-k sketch; see hotkey.go). 0, the
+	// default, disables detection and widening entirely — reads stay
+	// primary-first.
+	HotKeyTrack int
+	// HotKeyThreshold is how many reads of one key within the sliding
+	// window classify it hot and start widening its reads across the
+	// replica set (default 32 when tracking is on).
+	HotKeyThreshold int
+	// HotKeyWindow is the sliding-window length for hot-key detection
+	// (default 100us when tracking is on). Counts age out after at most
+	// two windows, so a key that cools stops widening.
+	HotKeyWindow sim.Time
 	// Mux, when non-nil, routes each fleet client's per-shard
 	// sub-clients through a shared endpoint (internal/mux) instead of
 	// dialing one connected QP set per client per shard. All fleet
@@ -107,6 +120,14 @@ func (c *Config) setDefaults() {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 200 * sim.Microsecond
+	}
+	if c.HotKeyTrack > 0 {
+		if c.HotKeyThreshold < 1 {
+			c.HotKeyThreshold = 32
+		}
+		if c.HotKeyWindow <= 0 {
+			c.HotKeyWindow = 100 * sim.Microsecond
+		}
 	}
 	// Brownout handling needs shed sub-operations to resolve: without a
 	// deadline a busy-retried op spins on server hints forever and the

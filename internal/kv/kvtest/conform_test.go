@@ -8,6 +8,7 @@ import (
 	"herdkv/internal/farm"
 	"herdkv/internal/fleet"
 	"herdkv/internal/mica"
+	"herdkv/internal/nearcache"
 	"herdkv/internal/pilaf"
 	"herdkv/internal/sim"
 )
@@ -68,6 +69,49 @@ func TestFleetConformance(t *testing.T) {
 			t.Fatal(err)
 		}
 		return Harness{KV: c, Run: cl.Eng.Run}
+	})
+}
+
+// TestNearCacheHERDConformance runs the full suite against the
+// near-cache wrapper over a single HERD server: caching must be
+// invisible to the kv.KV contract (callback discipline, counters,
+// delete-then-miss) even when reads are served locally.
+func TestNearCacheHERDConformance(t *testing.T) {
+	Run(t, func(t *testing.T) Harness {
+		cl := cluster.New(cluster.Apt(), 2, 1)
+		srv, err := core.NewServer(cl.Machine(0), herdConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := srv.ConnectClient(cl.Machine(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc := nearcache.New(c, cl.Eng, nil, nearcache.DefaultConfig())
+		return Harness{KV: nc, Run: cl.Eng.Run}
+	})
+}
+
+// TestNearCacheFleetConformance layers the near cache over the
+// replicated fleet, which also exercises the BatchGet subtest through
+// the wrapper's cached/batched MultiGet split.
+func TestNearCacheFleetConformance(t *testing.T) {
+	Run(t, func(t *testing.T) Harness {
+		cl := cluster.New(cluster.Apt(), 3, 1)
+		cfg := fleet.DefaultConfig()
+		cfg.Herd = herdConfig()
+		cfg.Herd.RetryTimeout = 12 * sim.Microsecond
+		d, err := fleet.NewDeployment(
+			[]*cluster.Machine{cl.Machine(0), cl.Machine(1)}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := d.ConnectClient(cl.Machine(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc := nearcache.New(c, cl.Eng, nil, nearcache.DefaultConfig())
+		return Harness{KV: nc, Run: cl.Eng.Run}
 	})
 }
 

@@ -75,21 +75,17 @@ type Result struct {
 	Latency sim.Time
 	Err     error // terminal failure (e.g. a retry-budget timeout); nil on a served response
 
-	// OK reports a StatusHit outcome.
-	//
-	// Deprecated: switch on Status, which also distinguishes timeouts
-	// and flushed operations from misses.
-	OK bool
+	// Lease is the absolute virtual-time expiry of the freshness lease
+	// the server granted alongside a GET hit, or zero when the backend
+	// grants no leases (core.Config.LeaseTTL unset, non-HERD backends).
+	// A near cache may serve the value locally until this instant; see
+	// docs/CACHING.md for the contract.
+	Lease sim.Time
 
 	// Reads counts client-driven READ verbs issued for this operation
 	// (Pilaf bucket probes + extent READ, FaRM neighborhood + value
 	// READ). Zero for server-CPU designs like HERD.
 	Reads int
-
-	// Probes counts Pilaf cuckoo bucket READs only.
-	//
-	// Deprecated: use Reads, which counts all client-driven READs.
-	Probes int
 }
 
 // KV is the common client interface implemented by every key-value
@@ -114,4 +110,18 @@ type KV interface {
 	// Failed counts operations that resolved terminally unserved
 	// (timeout or flush).
 	Failed() uint64
+}
+
+// BatchGetter is the optional batch-read extension of KV. Backends
+// that can serve many GETs more efficiently than one-at-a-time — the
+// fleet client groups keys per primary shard, the near cache answers
+// resident keys locally — implement it; callers discover it with a
+// type assertion:
+//
+//	if bg, ok := store.(kv.BatchGetter); ok { bg.MultiGet(keys, cb) }
+//
+// cb receives one Result per requested key, in request order, after
+// every key has resolved. Duplicate keys each get their own slot.
+type BatchGetter interface {
+	MultiGet(keys []Key, cb func([]Result)) error
 }

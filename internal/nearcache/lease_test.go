@@ -1,0 +1,130 @@
+package nearcache
+
+import (
+	"bytes"
+	"testing"
+
+	"herdkv/internal/cluster"
+	"herdkv/internal/core"
+	"herdkv/internal/kv"
+	"herdkv/internal/mica"
+	"herdkv/internal/sim"
+)
+
+// herdOrigin builds a one-server HERD origin with leases and terminal
+// retry timeouts, wrapped by a lease-mode near cache.
+func herdOrigin(t *testing.T, leaseTTL sim.Time) (*cluster.Cluster, *core.Server, *Cache) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.NS = 2
+	cfg.MaxClients = 2
+	cfg.Window = 4
+	cfg.Mica = mica.Config{IndexBuckets: 1 << 10, BucketSlots: 8, LogBytes: 1 << 20}
+	cfg.LeaseTTL = leaseTTL
+	cfg.RetryTimeout = 12 * sim.Microsecond
+	cl := cluster.New(cluster.Apt(), 2, 1)
+	srv, err := core.NewServer(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := srv.ConnectClient(cl.Machine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := New(cli, cl.Eng, cl.Machine(1).Verbs.Telemetry(),
+		Config{TTL: 500 * sim.Microsecond, Leases: true})
+	return cl, srv, nc
+}
+
+// leaseTTL is generous enough that a fill (which completes well inside
+// the 12µs retry budget when the fabric is healthy) leaves most of the
+// lease unspent, so the tests can place reads on either side of the
+// expiry deterministically via RunUntil.
+const leaseTTL = 50 * sim.Microsecond
+
+// TestLeaseFlowsThroughRealBackend checks the end-to-end lease path:
+// HERD grants on the wire, the near cache derives validity from it.
+func TestLeaseFlowsThroughRealBackend(t *testing.T) {
+	cl, srv, nc := herdOrigin(t, leaseTTL)
+	key := kv.FromUint64(1)
+	srv.Preload(key, []byte("from origin"))
+
+	var fill kv.Result
+	nc.Get(key, func(r kv.Result) { fill = r })
+	cl.Eng.RunUntil(15 * sim.Microsecond)
+	if fill.Status != kv.StatusHit || fill.Lease <= 0 {
+		t.Fatalf("fill = %+v, want leased hit", fill)
+	}
+	if fill.Lease <= cl.Eng.Now() {
+		t.Fatalf("lease %v already expired at %v", fill.Lease, cl.Eng.Now())
+	}
+
+	// Within the lease: local, no wire traffic.
+	gets0, _, _ := srv.Stats()
+	var cached kv.Result
+	nc.Get(key, func(r kv.Result) { cached = r })
+	cl.Eng.RunUntil(20 * sim.Microsecond)
+	gets1, _, _ := srv.Stats()
+	if cached.Status != kv.StatusHit || !bytes.Equal(cached.Value, []byte("from origin")) {
+		t.Fatalf("cached read = %+v", cached)
+	}
+	if gets1 != gets0 {
+		t.Fatal("read within the lease still hit the origin")
+	}
+
+	// Past the lease (but well within the 500µs TTL cap): refetch.
+	cl.Eng.RunUntil(fill.Lease + sim.Microsecond)
+	var refetched kv.Result
+	nc.Get(key, func(r kv.Result) { refetched = r })
+	cl.Eng.RunFor(15 * sim.Microsecond)
+	gets2, _, _ := srv.Stats()
+	if refetched.Status != kv.StatusHit {
+		t.Fatalf("refetch = %+v", refetched)
+	}
+	if gets2 == gets1 {
+		t.Fatal("read past the lease was served locally")
+	}
+}
+
+// TestCrashedOriginNeverServesStalePastLease is the staleness
+// regression the lease contract promises: after the origin shard
+// crashes (wiping its DRAM store), a cached value may be served only
+// until its lease expires — a read past expiry must fail or miss, and
+// must never resurrect the dead shard's value.
+func TestCrashedOriginNeverServesStalePastLease(t *testing.T) {
+	cl, srv, nc := herdOrigin(t, leaseTTL)
+	key := kv.FromUint64(2)
+	srv.Preload(key, []byte("precious"))
+
+	var fill kv.Result
+	nc.Get(key, func(r kv.Result) { fill = r })
+	cl.Eng.RunUntil(15 * sim.Microsecond)
+	if fill.Status != kv.StatusHit || fill.Lease <= cl.Eng.Now() {
+		t.Fatalf("warmup fill = %+v at %v", fill, cl.Eng.Now())
+	}
+
+	srv.Crash()
+
+	// The lease still holds: the cache may (and does) serve the last
+	// value — that bounded staleness is the contract's explicit
+	// allowance, and keeps hot keys readable through an origin blip.
+	var before kv.Result
+	nc.Get(key, func(r kv.Result) { before = r })
+	cl.Eng.RunUntil(20 * sim.Microsecond)
+	if before.Status != kv.StatusHit || !bytes.Equal(before.Value, []byte("precious")) {
+		t.Fatalf("read within lease = %+v, want the cached value", before)
+	}
+
+	// Past the lease expiry the cache must go back to the origin, which
+	// is dead: the read fails terminally instead of serving stale.
+	cl.Eng.RunUntil(fill.Lease + sim.Microsecond)
+	var after kv.Result
+	nc.Get(key, func(r kv.Result) { after = r })
+	cl.Eng.Run()
+	if after.Status == kv.StatusHit {
+		t.Fatalf("read past lease served a stale value from a crashed origin: %+v", after)
+	}
+	if after.Err == nil {
+		t.Fatalf("read past lease resolved cleanly (%+v) with the origin down", after)
+	}
+}

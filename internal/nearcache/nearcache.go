@@ -1,0 +1,507 @@
+// Package nearcache is a client-side near cache: a kv.KV that wraps
+// any other kv.KV (a HERD client, the sharded or fleet deployments, a
+// mux channel) and serves recently read values from client memory, so
+// a Zipf-skewed read mix stops crossing the wire for its hottest keys.
+//
+// Freshness is a *bounded-staleness* contract, not linearizability:
+//
+//   - In TTL mode every cached value expires Config.TTL after it was
+//     fetched.
+//   - In lease mode (Config.Leases) the origin server grants an
+//     explicit expiry with each GET hit (core.Config.LeaseTTL, carried
+//     in kv.Result.Lease) and the cache honors whichever of lease and
+//     TTL comes first. The server keeps no per-lease state: a write is
+//     never blocked by an outstanding lease, so a concurrent writer's
+//     update becomes visible to a cached reader at worst when the
+//     lease runs out.
+//   - Writes through the wrapper invalidate the local entry at submit
+//     time and mark any in-flight fill stale, so a client never serves
+//     its *own* writes stale.
+//
+// Misses run under promise-based thundering-herd suppression (the
+// justcache 202/409 protocol, adapted to an async client): the first
+// client to miss a key issues the origin fetch and becomes the filler;
+// concurrent missers park on the in-flight promise and share its
+// result instead of dog-piling the origin shard. A parked waiter that
+// outlives Config.HerdWait gives up on the promise and fetches
+// directly, bounding the damage of a slow or crashed filler.
+//
+// See docs/CACHING.md for the full contract and the cache.* metric
+// rows in docs/OBSERVABILITY.md.
+package nearcache
+
+import (
+	"container/list"
+
+	"herdkv/internal/kv"
+	"herdkv/internal/sim"
+	"herdkv/internal/telemetry"
+)
+
+// HitLatency is the modeled cost of serving a GET from the near cache:
+// a local hash lookup and value copy, no PCIe and no wire. Cached hits
+// are still delivered asynchronously on the engine — callers observe
+// the same callback discipline as every other backend, just ~40x
+// faster than a one-RTT remote GET.
+const HitLatency = 100 * sim.Nanosecond
+
+// Config parameterizes a near cache.
+type Config struct {
+	// TTL bounds how long a fetched value may be served locally. In
+	// lease mode it acts as a cap on top of the server's lease. The
+	// default is 25µs (virtual time).
+	TTL sim.Time
+	// Leases selects lease mode: entries expire at the server-granted
+	// lease instant (kv.Result.Lease) when the backend provides one,
+	// still capped by TTL. Results carrying no lease fall back to
+	// plain TTL validity.
+	Leases bool
+	// Capacity bounds resident entries; the least recently used entry
+	// is evicted first. The default is 1024.
+	Capacity int
+	// HerdWait bounds how long a misser stays parked on another
+	// client's in-flight fill before giving up and fetching directly.
+	// The default is 4x TTL; negative disables the bound.
+	HerdWait sim.Time
+}
+
+// DefaultConfig returns the default near-cache parameters.
+func DefaultConfig() Config { return Config{TTL: 25 * sim.Microsecond, Capacity: 1024} }
+
+// setDefaults normalizes a user config in place.
+func (c *Config) setDefaults() {
+	if c.TTL <= 0 {
+		c.TTL = 25 * sim.Microsecond
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.HerdWait == 0 {
+		c.HerdWait = 4 * c.TTL
+	}
+}
+
+// entry is one resident value.
+type entry struct {
+	key     kv.Key
+	value   []byte
+	expires sim.Time      // absolute virtual-time validity bound
+	elem    *list.Element // position in the LRU list
+}
+
+// waiter is one caller parked on an in-flight fill (the filler itself
+// is the first waiter).
+type waiter struct {
+	cb     func(kv.Result)
+	start  sim.Time
+	served bool // delivered, or detached after HerdWait
+}
+
+// fill is the in-flight promise for one missed key.
+type fill struct {
+	waiters []*waiter
+	stale   bool // a write raced the fill; don't cache its result
+}
+
+// Cache is the near cache. It implements kv.KV and kv.BatchGetter.
+// Like every client in this tree it is single-goroutine: all calls and
+// callbacks run on the simulation engine.
+type Cache struct {
+	inner kv.KV
+	clk   sim.Clock
+	cfg   Config
+
+	entries map[kv.Key]*entry
+	lru     *list.List // front = most recently used
+	fills   map[kv.Key]*fill
+
+	inflight  int
+	issued    uint64
+	completed uint64
+	failed    uint64
+
+	telHits       *telemetry.Counter
+	telMisses     *telemetry.Counter
+	telExpired    *telemetry.Counter
+	telFillsDone  *telemetry.Counter
+	telHerdWaits  *telemetry.Counter
+	telHerdAbort  *telemetry.Counter
+	telInvalidate *telemetry.Counter
+	telEvictions  *telemetry.Counter
+	telSize       *telemetry.Gauge
+}
+
+var (
+	_ kv.KV          = (*Cache)(nil)
+	_ kv.BatchGetter = (*Cache)(nil)
+)
+
+// New wraps inner with a near cache. clk is the deployment's virtual
+// clock (the cluster engine); tel may be nil.
+func New(inner kv.KV, clk sim.Clock, tel *telemetry.Sink, cfg Config) *Cache {
+	cfg.setDefaults()
+	c := &Cache{
+		inner:   inner,
+		clk:     clk,
+		cfg:     cfg,
+		entries: make(map[kv.Key]*entry),
+		lru:     list.New(),
+		fills:   make(map[kv.Key]*fill),
+	}
+	c.telHits = tel.Counter("cache.hits")
+	c.telMisses = tel.Counter("cache.misses")
+	c.telExpired = tel.Counter("cache.lease.expired")
+	c.telFillsDone = tel.Counter("cache.fills")
+	c.telHerdWaits = tel.Counter("cache.herd.waits")
+	c.telHerdAbort = tel.Counter("cache.herd.aborts")
+	c.telInvalidate = tel.Counter("cache.invalidations")
+	c.telEvictions = tel.Counter("cache.evictions")
+	c.telSize = tel.Gauge("cache.size")
+	return c
+}
+
+// Len reports the number of resident entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Inflight returns the number of unresolved operations.
+func (c *Cache) Inflight() int { return c.inflight }
+
+// Issued counts operations accepted by the wrapper (cached hits
+// included — they are served operations, they just never reach inner).
+func (c *Cache) Issued() uint64 { return c.issued }
+
+// Completed counts operations resolved with a served response.
+func (c *Cache) Completed() uint64 { return c.completed }
+
+// Failed counts operations that resolved terminally unserved.
+func (c *Cache) Failed() uint64 { return c.failed }
+
+// deliver resolves one operation: counters, then the callback.
+func (c *Cache) deliver(r kv.Result, cb func(kv.Result)) {
+	c.inflight--
+	if r.Err != nil {
+		c.failed++
+	} else {
+		c.completed++
+	}
+	if cb != nil {
+		cb(r)
+	}
+}
+
+// lookup returns the resident, still-valid entry for key, expiring a
+// stale one on the way.
+func (c *Cache) lookup(key kv.Key) *entry {
+	e := c.entries[key]
+	if e == nil {
+		return nil
+	}
+	if c.clk.Now() >= e.expires {
+		// Lazy expiry: the lease (or TTL) ran out before anyone evicted
+		// the entry; drop it and treat the read as a miss.
+		c.telExpired.Inc()
+		c.remove(e)
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	return e
+}
+
+// remove drops a resident entry.
+func (c *Cache) remove(e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.key)
+	c.telSize.Set(int64(len(c.entries)))
+}
+
+// insert populates key after a successful fill, evicting LRU entries
+// past capacity.
+func (c *Cache) insert(key kv.Key, value []byte, expires sim.Time) {
+	if expires <= c.clk.Now() {
+		return // already dead on arrival (e.g. a zero lease in lease mode)
+	}
+	if e := c.entries[key]; e != nil {
+		e.value = append(e.value[:0], value...)
+		e.expires = expires
+		c.lru.MoveToFront(e.elem)
+		c.telFillsDone.Inc()
+		return
+	}
+	for len(c.entries) >= c.cfg.Capacity {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.telEvictions.Inc()
+		c.remove(oldest.Value.(*entry))
+	}
+	e := &entry{key: key, value: append([]byte(nil), value...), expires: expires}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.telFillsDone.Inc()
+	c.telSize.Set(int64(len(c.entries)))
+}
+
+// validity derives the cache expiry a fill result earns: TTL from now,
+// tightened to the server's lease in lease mode.
+func (c *Cache) validity(r kv.Result) sim.Time {
+	exp := c.clk.Now() + c.cfg.TTL
+	if c.cfg.Leases && r.Lease > 0 && r.Lease < exp {
+		exp = r.Lease
+	}
+	return exp
+}
+
+// hitResult builds the Result a cached read serves. The value is
+// copied out of the entry — callers own their Result.Value, and the
+// resident copy must survive caller mutation.
+func (c *Cache) hitResult(e *entry) kv.Result {
+	return kv.Result{
+		Key:     e.key,
+		IsGet:   true,
+		Status:  kv.StatusHit,
+		Value:   append([]byte(nil), e.value...),
+		Latency: HitLatency,
+		Lease:   e.expires,
+	}
+}
+
+// Get serves key from the near cache when resident and valid; a miss
+// joins (or creates) the key's in-flight fill.
+func (c *Cache) Get(key kv.Key, cb func(kv.Result)) error {
+	if key.IsZero() {
+		return kv.ErrZeroKey
+	}
+	if e := c.lookup(key); e != nil {
+		c.telHits.Inc()
+		c.issued++
+		c.inflight++
+		res := c.hitResult(e)
+		c.clk.After(HitLatency, func() { c.deliver(res, cb) })
+		return nil
+	}
+	return c.joinFill(key, cb)
+}
+
+// joinFill parks cb on key's in-flight fill, creating the fill (and
+// issuing the origin fetch) when none is pending.
+func (c *Cache) joinFill(key kv.Key, cb func(kv.Result)) error {
+	w := &waiter{cb: cb, start: c.clk.Now()}
+	if f := c.fills[key]; f != nil {
+		// Herd suppressed: share the promise already in flight.
+		c.telHerdWaits.Inc()
+		c.issued++
+		c.inflight++
+		f.waiters = append(f.waiters, w)
+		c.armHerdWait(key, w)
+		return nil
+	}
+	f := &fill{waiters: []*waiter{w}}
+	err := c.inner.Get(key, func(r kv.Result) { c.resolveFill(key, f, r) })
+	if err != nil {
+		return err
+	}
+	c.telMisses.Inc()
+	c.issued++
+	c.inflight++
+	c.fills[key] = f
+	return nil
+}
+
+// resolveFill completes a promise: populate the cache (unless a write
+// raced the fill) and deliver the shared result to every parked waiter.
+func (c *Cache) resolveFill(key kv.Key, f *fill, r kv.Result) {
+	if c.fills[key] == f {
+		delete(c.fills, key)
+	}
+	if !f.stale && r.Status == kv.StatusHit {
+		c.insert(key, r.Value, c.validity(r))
+	}
+	now := c.clk.Now()
+	for _, w := range f.waiters {
+		if w.served {
+			continue
+		}
+		w.served = true
+		wr := r
+		wr.Latency = now - w.start
+		c.deliver(wr, w.cb)
+	}
+}
+
+// armHerdWait bounds a parked waiter's patience: if the promise has
+// not resolved within HerdWait, the waiter detaches and fetches
+// directly (the filler may be wedged behind a crashed shard).
+func (c *Cache) armHerdWait(key kv.Key, w *waiter) {
+	if c.cfg.HerdWait < 0 {
+		return
+	}
+	c.clk.After(c.cfg.HerdWait, func() {
+		if w.served {
+			return
+		}
+		w.served = true
+		c.telHerdAbort.Inc()
+		err := c.inner.Get(key, func(r kv.Result) {
+			r.Latency = c.clk.Now() - w.start
+			c.deliver(r, w.cb)
+		})
+		if err != nil {
+			// The inner client rejected the direct fetch synchronously
+			// (it cannot: the key was already validated) — fail the op
+			// rather than strand it.
+			c.deliver(kv.Result{Key: key, IsGet: true, Status: kv.StatusTimeout, Err: err}, w.cb)
+		}
+	})
+}
+
+// invalidate drops key locally and marks any in-flight fill stale, so
+// a write submitted through this wrapper is never shadowed by its own
+// cache. Remote writers stay invisible until lease/TTL expiry — that
+// is the bounded-staleness contract.
+func (c *Cache) invalidate(key kv.Key) {
+	dropped := false
+	if e := c.entries[key]; e != nil {
+		c.remove(e)
+		dropped = true
+	}
+	if f := c.fills[key]; f != nil && !f.stale {
+		f.stale = true
+		dropped = true
+	}
+	if dropped {
+		c.telInvalidate.Inc()
+	}
+}
+
+// Put writes through to the origin, invalidating the local entry at
+// submit time.
+func (c *Cache) Put(key kv.Key, value []byte, cb func(kv.Result)) error {
+	if key.IsZero() {
+		return kv.ErrZeroKey
+	}
+	err := c.inner.Put(key, value, func(r kv.Result) { c.deliver(r, cb) })
+	if err != nil {
+		return err
+	}
+	c.invalidate(key)
+	c.issued++
+	c.inflight++
+	return nil
+}
+
+// Delete writes through to the origin, invalidating the local entry at
+// submit time.
+func (c *Cache) Delete(key kv.Key, cb func(kv.Result)) error {
+	if key.IsZero() {
+		return kv.ErrZeroKey
+	}
+	err := c.inner.Delete(key, func(r kv.Result) { c.deliver(r, cb) })
+	if err != nil {
+		return err
+	}
+	c.invalidate(key)
+	c.issued++
+	c.inflight++
+	return nil
+}
+
+// MultiGet answers resident keys locally and fetches the remainder in
+// one batch: when inner implements kv.BatchGetter (the fleet client
+// groups keys per primary shard) the remainder rides a single inner
+// MultiGet; otherwise each missing key fetches individually. Remainder
+// keys register promises like single-key misses, so concurrent Gets
+// park on the batch instead of re-fetching. cb receives one Result per
+// requested key, in request order; duplicates share one fetch.
+func (c *Cache) MultiGet(keys []kv.Key, cb func([]kv.Result)) error {
+	for _, k := range keys {
+		if k.IsZero() {
+			return kv.ErrZeroKey
+		}
+	}
+	results := make([]kv.Result, len(keys))
+	if len(keys) == 0 {
+		if cb != nil {
+			cb(results)
+		}
+		return nil
+	}
+	// Duplicate keys resolve once; the shared result lands in every
+	// position that asked (same discipline as the fleet client).
+	pos := make(map[kv.Key][]int)
+	uniq := make([]kv.Key, 0, len(keys))
+	for i, k := range keys {
+		if _, dup := pos[k]; !dup {
+			uniq = append(uniq, k)
+		}
+		pos[k] = append(pos[k], i)
+	}
+	remaining := len(uniq)
+	resolve := func(k kv.Key, r kv.Result) {
+		for _, idx := range pos[k] {
+			results[idx] = r
+		}
+		if remaining--; remaining == 0 && cb != nil {
+			cb(results)
+		}
+	}
+	// Keys the batch must actually fetch (not resident, no fill in
+	// flight), discovered before issuing anything so the batch is one
+	// decision, not len(uniq) racing ones.
+	var fetch []kv.Key
+	fetchFills := make(map[kv.Key]*fill)
+	for _, k := range uniq {
+		k := k
+		if e := c.lookup(k); e != nil {
+			c.telHits.Inc()
+			c.issued++
+			c.inflight++
+			res := c.hitResult(e)
+			c.clk.After(HitLatency, func() { c.deliver(res, func(r kv.Result) { resolve(k, r) }) })
+			continue
+		}
+		w := &waiter{cb: func(r kv.Result) { resolve(k, r) }, start: c.clk.Now()}
+		if f := c.fills[k]; f != nil {
+			c.telHerdWaits.Inc()
+			c.issued++
+			c.inflight++
+			f.waiters = append(f.waiters, w)
+			c.armHerdWait(k, w)
+			continue
+		}
+		f := &fill{waiters: []*waiter{w}}
+		fetchFills[k] = f
+		fetch = append(fetch, k)
+	}
+	if len(fetch) == 0 {
+		return nil
+	}
+	if bg, ok := c.inner.(kv.BatchGetter); ok {
+		err := bg.MultiGet(fetch, func(rs []kv.Result) {
+			for i, k := range fetch {
+				c.resolveFill(k, fetchFills[k], rs[i])
+			}
+		})
+		if err != nil {
+			return err
+		}
+		for _, k := range fetch {
+			c.telMisses.Inc()
+			c.issued++
+			c.inflight++
+			c.fills[k] = fetchFills[k]
+		}
+		return nil
+	}
+	for _, k := range fetch {
+		k, f := k, fetchFills[k]
+		if err := c.inner.Get(k, func(r kv.Result) { c.resolveFill(k, f, r) }); err != nil {
+			return err
+		}
+		c.telMisses.Inc()
+		c.issued++
+		c.inflight++
+		c.fills[k] = f
+	}
+	return nil
+}

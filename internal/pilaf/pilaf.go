@@ -95,9 +95,8 @@ func (s *Server) Insert(key kv.Key, value []byte) error {
 }
 
 // Result is the outcome of a client operation — an alias of the
-// unified kv.Result. Result.Probes (deprecated) counts bucket READs;
-// Result.Reads counts all client-driven READs including the extent
-// fetch.
+// unified kv.Result. Result.Reads counts all client-driven READs:
+// every cuckoo bucket probe plus the extent fetch.
 type Result = kv.Result
 
 // Client is one Pilaf client: an RC QP for READs and a UC QP pair for
@@ -264,7 +263,7 @@ func (c *Client) handleAck(comp verbs.Completion) {
 			status = kv.StatusHit
 		}
 		op.cb(Result{
-			Key: op.key, OK: ok, Status: status,
+			Key: op.key, Status: status,
 			Latency: c.now() - op.issuedAt,
 		})
 	}
@@ -343,9 +342,8 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 
 	finish := func() {
 		res.Latency = c.now() - start
-		res.Status = kv.StatusMiss
-		if res.OK {
-			res.Status = kv.StatusHit
+		if res.Status == kv.StatusUnknown {
+			res.Status = kv.StatusMiss
 		}
 		c.completed++
 		c.finishOp()
@@ -361,7 +359,6 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 		}
 		idx := idxs[probe]
 		probe++
-		res.Probes++
 		res.Reads++
 		// Each probe lands in its own scratch slot.
 		lo := (int(c.readSeq) % (c.srv.cfg.Window + 1)) * 2 * 1024
@@ -410,7 +407,7 @@ func (c *Client) doGet(key kv.Key, cb func(Result)) {
 		c.awaitRead(func() {
 			v, ok := cuckoo.VerifyExtentEntry(c.scratch.Bytes()[lo:lo+n], key, b)
 			if ok {
-				res.OK = true
+				res.Status = kv.StatusHit
 				res.Value = append([]byte(nil), v...)
 				finish()
 				return
