@@ -34,13 +34,16 @@ race:
 # durability comparison (warm WAL rejoin vs cold re-replication after a
 # mid-flush crash) writes BENCH_durability.json, and the hot-key
 # survival comparison (near cache + leases + widening vs plain fleet on
-# the skewed workload) writes BENCH_hotkey.json.
+# the skewed workload) writes BENCH_hotkey.json, and the nemesis
+# consistency comparison (first-ack divergence vs versioned read
+# repair) writes BENCH_consistency.json.
 bench:
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -benchjson BENCH_fleet.json fleet-bench
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -overloadjson BENCH_overload.json overload
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -clientsjson BENCH_clients.json clients-sweep
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -durabilityjson BENCH_durability.json durability
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -hotkeyjson BENCH_hotkey.json hotkey
+	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -consistencyjson BENCH_consistency.json consistency
 
 # Bench ratchet: regenerate the ratcheted benchmarks and diff their
 # throughput leaves against the committed baselines in baselines/;
@@ -49,8 +52,10 @@ bench:
 bench-check:
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -benchjson BENCH_fleet.json fleet-bench
 	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -hotkeyjson BENCH_hotkey.json hotkey
+	$(GO) run ./cmd/herdbench -warmup 50 -span 150 -consistencyjson BENCH_consistency.json consistency
 	$(GO) run ./cmd/benchcheck -max-regress 0.05 baselines/BENCH_fleet.json BENCH_fleet.json
 	$(GO) run ./cmd/benchcheck -max-regress 0.05 baselines/BENCH_hotkey.json BENCH_hotkey.json
+	$(GO) run ./cmd/benchcheck -max-regress 0.05 baselines/BENCH_consistency.json BENCH_consistency.json
 
 microbench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -25,6 +25,11 @@
 // docs/DURABILITY.md. "hotkey" runs the skewed workload with and
 // without the client near cache + leases + hot-key widening
 // (-hotkeyjson writes the comparison as JSON); see docs/CACHING.md.
+// "consistency" searches nemesis seeds for a schedule under which the
+// first-ack fleet serves a provably stale read, minimizes it, and
+// proves versioned writes + read repair restore linearizability
+// (-consistencyjson writes the comparison as JSON); see
+// docs/ROBUSTNESS.md.
 //
 // -metrics dumps the cluster-wide metric registry (per-verb posted and
 // completion counters, PCIe transaction counts, NIC cache hit rates,
@@ -64,6 +69,7 @@ func main() {
 	clientsJSON := flag.String("clientsjson", "", "with the clients-sweep target: also write the sweep as JSON to this file")
 	durabilityJSON := flag.String("durabilityjson", "", "with the durability target: also write the comparison as JSON to this file")
 	hotkeyJSON := flag.String("hotkeyjson", "", "with the hotkey target: also write the comparison as JSON to this file")
+	consistencyJSON := flag.String("consistencyjson", "", "with the consistency target: also write the comparison as JSON to this file")
 	flag.Parse()
 
 	experiments.Warmup = sim.Time(*warmupUS) * sim.Microsecond
@@ -173,6 +179,17 @@ func main() {
 			return tbl
 		},
 
+		// Consistency: the nemesis-driven linearizability gate —
+		// first-ack divergence vs versioned read repair under a
+		// generated chaos schedule (docs/ROBUSTNESS.md).
+		"consistency": func() *experiments.Table {
+			tbl, res := experiments.ConsistencyScenario(spec)
+			if *consistencyJSON != "" {
+				writeFile(*consistencyJSON, res.WriteJSON)
+			}
+			return tbl
+		},
+
 		// Robustness: HERD under a scripted fault schedule.
 		"chaos": func() *experiments.Table {
 			if *faultsFile == "" {
@@ -198,7 +215,7 @@ func main() {
 		"ablation-doorbell",
 		"anatomy", "cpuuse", "symmetric", "classical", "chaos",
 		"fleet-bench", "fleet-chaos", "overload", "clients-sweep", "durability",
-		"hotkey",
+		"hotkey", "consistency",
 	}
 
 	if *list {

@@ -215,6 +215,16 @@ type Config struct {
 	// device; zero values take the wal package defaults. Ignored when
 	// Durability is off.
 	WAL wal.Config
+
+	// VersionedValues makes the server order mutations by the
+	// kv.Version stamp prefixed to every value (see internal/kv): a
+	// PUT whose stamp does not outrank the stored entry's is refused
+	// (acked, not applied), and DELETEs arrive as tombstone PUTs
+	// rather than removals, so replicas converge to the
+	// highest-stamped state no matter the apply order. Off by default
+	// (the paper's unversioned cache); the versioned fleet client
+	// turns it on for every replica it drives.
+	VersionedValues bool
 }
 
 // Durability is the Config.Durability knob.
@@ -574,10 +584,57 @@ func (s *Server) applyRecord(r wal.Record) {
 	part := s.parts[mica.Partition(r.Key, s.cfg.NS)]
 	switch r.Op {
 	case wal.OpPut:
+		if s.cfg.VersionedValues {
+			_, _, _ = s.applyVersionedPut(part, r.Key, r.Value)
+			return
+		}
 		_ = part.Put(r.Key, r.Value)
 	case wal.OpDelete:
 		part.Delete(r.Key)
 	}
+}
+
+// applyVersionedPut applies a version-stamped PUT with last-writer-wins
+// ordering: a stamp that does not outrank the stored entry's is refused
+// without touching the partition, which makes replays, repair
+// back-fills, and duplicate retries idempotent in any order. It returns
+// the response status under HERD's delete-as-tombstone convention
+// (statusOK for live writes and for tombstones that killed a live
+// entry, statusNotFound for a tombstone landing on absent-or-dead
+// state), whether the partition changed (and so the mutation must be
+// WAL-logged), and any storage error. Unstamped values fall back to a
+// plain overwrite so legacy preloads keep working.
+func (s *Server) applyVersionedPut(part *mica.Cache, key kv.Key, value []byte) (status byte, applied bool, err error) {
+	nv, ntomb, _, ok := kv.SplitVersion(value)
+	if !ok {
+		return statusOK, true, part.Put(key, value)
+	}
+	priorLive := false
+	if old, found := part.Get(key); found {
+		ov, otomb, _, ook := kv.SplitVersion(old)
+		if ook {
+			priorLive = !otomb
+			if !ov.Less(nv) {
+				return versionedStatus(ntomb, priorLive), false, nil
+			}
+		} else {
+			priorLive = true
+		}
+	}
+	if err := part.Put(key, value); err != nil {
+		return statusNotFound, false, err
+	}
+	return versionedStatus(ntomb, priorLive), true, nil
+}
+
+// versionedStatus maps a versioned PUT's outcome to a response status:
+// a tombstone reports what it deleted (kvtest's delete-of-absent = not
+// found), everything else acks OK.
+func versionedStatus(tombstone, priorLive bool) byte {
+	if tombstone && !priorLive {
+		return statusNotFound
+	}
+	return statusOK
 }
 
 // snapshotLiveState walks every partition's live entries for WAL
@@ -673,6 +730,24 @@ func (s *Server) Partition(i int) *mica.Cache { return s.parts[i] }
 // otherwise a crash before the first flush would replay the log to a
 // pre-preload view and silently resurrect deleted or stale state.
 func (s *Server) Preload(key kv.Key, value []byte) error {
+	part := s.parts[mica.Partition(key, s.cfg.NS)]
+	if s.cfg.VersionedValues {
+		// Ordered apply: an anti-entropy back-fill racing a fresher
+		// client write must never regress the stored version, and a
+		// refused (stale) copy must not reach the WAL either.
+		_, applied, err := s.applyVersionedPut(part, key, value)
+		if err != nil || !applied {
+			return err
+		}
+		if s.wlog != nil {
+			s.wlog.AppendDurable(wal.Record{
+				Op: wal.OpPut, Key: key,
+				Value: append([]byte(nil), value...),
+				Epoch: s.epoch,
+			})
+		}
+		return nil
+	}
 	if s.wlog != nil {
 		s.wlog.AppendDurable(wal.Record{
 			Op: wal.OpPut, Key: key,
@@ -680,7 +755,7 @@ func (s *Server) Preload(key kv.Key, value []byte) error {
 			Epoch: s.epoch,
 		})
 	}
-	return s.parts[mica.Partition(key, s.cfg.NS)].Put(key, value)
+	return part.Put(key, value)
 }
 
 // PreloadDelete removes an item server-side, through the WAL like
@@ -979,12 +1054,19 @@ func (s *Server) execute(req request) {
 		var logged *wal.Record
 		switch {
 		case isPut:
-			err := part.Put(req.key, req.value)
 			s.puts++
-			status := byte(statusOK)
+			var status byte
+			var applied bool
+			var err error
+			if s.cfg.VersionedValues {
+				status, applied, err = s.applyVersionedPut(part, req.key, req.value)
+			} else {
+				err = part.Put(req.key, req.value)
+				status, applied = statusOK, err == nil
+			}
 			if err != nil {
 				status = statusNotFound
-			} else if s.wlog != nil {
+			} else if applied && s.wlog != nil {
 				// The slot's value bytes are zeroed and reused after the
 				// response; the log record needs its own copy.
 				logged = &wal.Record{

@@ -91,6 +91,10 @@ type Event struct {
 	Node      wire.NodeID // Crash: the machine whose server process dies
 	At        sim.Time    // Crash: crash instant
 	RestartAt sim.Time    // Crash: restart instant (0 = never restarts)
+
+	// Nemesis marks an event produced by NemesisConfig.Generate rather
+	// than a hand-written script line (telemetry only).
+	Nemesis bool
 }
 
 // Schedule is an ordered script of fault events.
@@ -170,6 +174,7 @@ type Injector struct {
 	// Telemetry (nil-safe): injection counters by outcome.
 	injDrop, injCorrupt  *telemetry.Counter
 	injCrash, injRestart *telemetry.Counter
+	injNemesis           *telemetry.Counter
 	drops, corrupts      uint64
 	crashes, restarts    uint64
 	missedTargets        uint64
@@ -199,6 +204,7 @@ func (in *Injector) SetTelemetry(s *telemetry.Sink) {
 	in.injCorrupt = s.Counter("fault.injected.corrupt")
 	in.injCrash = s.Counter("fault.injected.crash")
 	in.injRestart = s.Counter("fault.injected.restart")
+	in.injNemesis = s.Counter("nemesis.events")
 }
 
 // SetCrashTarget registers the process to kill when a Crash event names
@@ -225,6 +231,11 @@ func (in *Injector) Arm() {
 		return
 	}
 	in.armed = true
+	for _, e := range in.sched.Events {
+		if e.Nemesis {
+			in.injNemesis.Inc()
+		}
+	}
 	// Sort crash instants for deterministic scheduling order regardless
 	// of script order.
 	events := make([]Event, 0, len(in.sched.Events))

@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"sort"
+
+	"herdkv/internal/sim"
+	"herdkv/internal/wire"
+)
+
+// Nemesis: randomized schedule generation. PR 2's chaos harness replays
+// hand-written scripts; the nemesis layer *generates* them — crashes,
+// flush-crashes, blackouts, and partitions drawn from a seeded RNG over
+// a bounded horizon — so a consistency gate can search seeds for a
+// failure instead of waiting for a human to script one, and shrink a
+// failing schedule to its essential events with Minimize. Generation is
+// a pure function of the config (sim.Rand, no wall clock), so a failing
+// seed replays byte-identically.
+
+// NemesisConfig parameterizes one generated schedule. The zero value is
+// not useful: set at least Until and Nodes.
+type NemesisConfig struct {
+	// Seed drives every random choice; same config = same schedule.
+	Seed int64
+	// Until is the horizon: every generated window starts inside
+	// [0, Until); crash restarts may land somewhat past it.
+	Until sim.Time
+	// Nodes is the crashable node-id range [0, Nodes) — in a fleet,
+	// the shard machines.
+	Nodes int
+	// Peers is the node-id range [0, Peers) for link-level faults
+	// (blackouts, partitions); defaults to Nodes. In a fleet this
+	// includes client machines, so generated blackouts can sever a
+	// client from one replica — the divergence-seeding fault.
+	Peers int
+	// Crashes and FlushCrashes are how many crash / mid-flush-crash
+	// events to generate. Each lands on a distinct node (the two kinds
+	// share the budget), so downtime windows never overlap on one
+	// process; the total is clamped to Nodes.
+	Crashes      int
+	FlushCrashes int
+	// Blackouts and Partitions are how many link-level windows to
+	// generate.
+	Blackouts  int
+	Partitions int
+	// MinDown/MaxDown bound a crashed node's downtime (defaults
+	// Until/16 and Until/4).
+	MinDown, MaxDown sim.Time
+}
+
+// Generate builds the randomized schedule. The result always passes
+// Validate; Events are tagged Nemesis for telemetry.
+func (cfg NemesisConfig) Generate() *Schedule {
+	if cfg.Until <= 0 {
+		cfg.Until = 8 * sim.Millisecond
+	}
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.Peers < cfg.Nodes {
+		cfg.Peers = cfg.Nodes
+	}
+	if cfg.MinDown <= 0 {
+		cfg.MinDown = cfg.Until / 16
+	}
+	if cfg.MaxDown < cfg.MinDown {
+		cfg.MaxDown = cfg.Until / 4
+	}
+	if cfg.MaxDown < cfg.MinDown {
+		cfg.MaxDown = cfg.MinDown
+	}
+	rnd := sim.NewRand(cfg.Seed)
+	s := &Schedule{}
+
+	// Crash-class events: one per distinct node so per-process downtime
+	// windows cannot overlap.
+	crashes, flushes := cfg.Crashes, cfg.FlushCrashes
+	if crashes < 0 {
+		crashes = 0
+	}
+	if flushes < 0 {
+		flushes = 0
+	}
+	if crashes+flushes > cfg.Nodes {
+		if crashes > cfg.Nodes {
+			crashes = cfg.Nodes
+		}
+		flushes = cfg.Nodes - crashes
+	}
+	perm := rnd.Perm(cfg.Nodes)
+	for i := 0; i < crashes+flushes; i++ {
+		kind := Crash
+		if i >= crashes {
+			kind = FlushCrash
+		}
+		// Crash somewhere in the middle half of the horizon, so traffic
+		// exists both before (to diverge) and after (to observe).
+		at := cfg.Until/4 + rnd.DurationBetween(0, cfg.Until/2)
+		s.Events = append(s.Events, Event{
+			Kind:      kind,
+			Node:      wire.NodeID(perm[i]),
+			At:        at,
+			RestartAt: at + rnd.DurationBetween(cfg.MinDown, cfg.MaxDown),
+			Nemesis:   true,
+		})
+	}
+
+	window := func() (from, until sim.Time) {
+		from = rnd.DurationBetween(0, cfg.Until*3/4)
+		return from, from + rnd.DurationBetween(cfg.Until/32, cfg.Until/4)
+	}
+	for i := 0; i < cfg.Blackouts; i++ {
+		src := rnd.Intn(cfg.Peers)
+		dst := rnd.Intn(cfg.Peers - 1)
+		if dst >= src {
+			dst++
+		}
+		from, until := window()
+		s.Events = append(s.Events, Event{
+			Kind: Blackout,
+			Src:  wire.NodeID(src), Dst: wire.NodeID(dst),
+			Both: rnd.Intn(2) == 0,
+			From: from, Until: until,
+			Nemesis: true,
+		})
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		if cfg.Peers < 2 {
+			break
+		}
+		cut := 1 + rnd.Intn(cfg.Peers-1)
+		p := rnd.Perm(cfg.Peers)
+		a := make([]wire.NodeID, cut)
+		b := make([]wire.NodeID, cfg.Peers-cut)
+		for j, n := range p {
+			if j < cut {
+				a[j] = wire.NodeID(n)
+			} else {
+				b[j-cut] = wire.NodeID(n)
+			}
+		}
+		from, until := window()
+		s.Events = append(s.Events, Event{
+			Kind: Partition,
+			A:    a, B: b,
+			Asym: rnd.Intn(2) == 0,
+			From: from, Until: until,
+			Nemesis: true,
+		})
+	}
+	// Deterministic event order regardless of generation order: sort by
+	// activation instant, then kind, keeping the schedule stable under
+	// config permutations.
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		ti, tj := s.Events[i].start(), s.Events[j].start()
+		if ti != tj {
+			return ti < tj
+		}
+		return s.Events[i].Kind < s.Events[j].Kind
+	})
+	return s
+}
+
+// start returns the instant an event first takes effect.
+func (e Event) start() sim.Time {
+	if e.Kind == Crash || e.Kind == FlushCrash {
+		return e.At
+	}
+	return e.From
+}
+
+// Minimize shrinks a failing schedule to a locally minimal one:
+// repeatedly try dropping each event and keep any drop after which
+// fails still reports true, until no single event can be removed. fails
+// must be a pure function of the schedule (re-running the experiment
+// arm under it); with deterministic arms the result is deterministic.
+// The returned schedule shares no storage with the input.
+func Minimize(s *Schedule, fails func(*Schedule) bool) *Schedule {
+	events := append([]Event(nil), s.Events...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(events); i++ {
+			cand := make([]Event, 0, len(events)-1)
+			cand = append(cand, events[:i]...)
+			cand = append(cand, events[i+1:]...)
+			if fails(&Schedule{Events: cand}) {
+				events = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return &Schedule{Events: events}
+}

@@ -20,9 +20,17 @@ import (
 //	partition a=1,2 b=0 from=4ms until=5ms [asym]
 //	crash     node=0 at=10ms restart=20ms
 //	flushcrash node=0 at=10ms restart=20ms
+//	nemesis   seed=7 until=8ms nodes=4 [peers=10] [crashes=1]
+//	          [flushcrashes=1] [blackouts=2] [partitions=1]
+//	          [mindown=500us] [maxdown=2ms]
 //
 // flushcrash is crash landing mid-group-commit: a target with a
 // write-ahead log keeps a torn log tail for recovery to truncate.
+//
+// nemesis is not an event: the line expands to a randomized batch of
+// crash/flushcrash/blackout/partition events generated from the seed
+// (see NemesisConfig), so one script line stands in for a whole
+// generated chaos schedule.
 //
 // Durations take ns/us/ms/s suffixes ("0" needs none). Node IDs are the
 // cluster machine indices. The parsed schedule is validated before it is
@@ -36,6 +44,15 @@ func ParseSchedule(script string) (*Schedule, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
+			continue
+		}
+		// nemesis expands to many events; every other keyword is one.
+		if fields[0] == "nemesis" {
+			events, err := parseNemesis(fields)
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: %w", lineNo+1, err)
+			}
+			s.Events = append(s.Events, events...)
 			continue
 		}
 		e, err := parseEvent(fields)
@@ -121,6 +138,70 @@ func parseEvent(fields []string) (Event, error) {
 		return e, err
 	}
 	return e, nil
+}
+
+// parseNemesis parses a "nemesis" line into its generated event batch.
+func parseNemesis(fields []string) ([]Event, error) {
+	var cfg NemesisConfig
+	seen := map[string]bool{}
+	for _, f := range fields[1:] {
+		key, val, hasVal := strings.Cut(f, "=")
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate field %q", key)
+		}
+		seen[key] = true
+		if !hasVal {
+			return nil, fmt.Errorf("unknown flag %q", key)
+		}
+		var err error
+		parseCount := func(dst *int) {
+			var n int
+			n, err = strconv.Atoi(val)
+			if err != nil || n < 0 {
+				err = fmt.Errorf("bad count %q", val)
+				return
+			}
+			*dst = n
+		}
+		switch key {
+		case "seed":
+			var n int64
+			n, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("bad seed %q", val)
+			}
+			cfg.Seed = n
+		case "until":
+			cfg.Until, err = parseDur(val)
+		case "nodes":
+			parseCount(&cfg.Nodes)
+		case "peers":
+			parseCount(&cfg.Peers)
+		case "crashes":
+			parseCount(&cfg.Crashes)
+		case "flushcrashes":
+			parseCount(&cfg.FlushCrashes)
+		case "blackouts":
+			parseCount(&cfg.Blackouts)
+		case "partitions":
+			parseCount(&cfg.Partitions)
+		case "mindown":
+			cfg.MinDown, err = parseDur(val)
+		case "maxdown":
+			cfg.MaxDown, err = parseDur(val)
+		default:
+			return nil, fmt.Errorf("unknown field %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", key, err)
+		}
+	}
+	for _, k := range []string{"seed", "until", "nodes"} {
+		if !seen[k] {
+			return nil, fmt.Errorf("nemesis line missing field %q", k)
+		}
+	}
+	return cfg.Generate().Events, nil
 }
 
 // requireFields enforces per-kind mandatory fields so a typo'd script

@@ -115,6 +115,11 @@ func FuzzParseSchedule(f *testing.F) {
 	f.Add("flushcrash node=0 at=10ms restart=20ms")
 	f.Add("# comment\n\ncrash node=0 at=1us")
 	f.Add("loss from==0 until=1ms rate=0..5")
+	f.Add("nemesis seed=7 until=8ms nodes=4")
+	f.Add("nemesis seed=-1 until=8ms nodes=4 peers=10 crashes=2 flushcrashes=1 blackouts=3 partitions=1 mindown=100us maxdown=2ms")
+	f.Add("nemesis seed=1 until=0 nodes=0 crashes=9")
+	f.Add("nemesis seed=x until=8ms nodes=4")
+	f.Add("crash node=0 at=1ms restart=2ms\nnemesis seed=1 until=4ms nodes=2 blackouts=1")
 	f.Fuzz(func(t *testing.T, script string) {
 		s, err := ParseSchedule(script)
 		if err != nil {

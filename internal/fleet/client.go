@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"errors"
+	"sort"
 
 	"herdkv/internal/cluster"
 	"herdkv/internal/kv"
@@ -12,7 +13,15 @@ import (
 
 // ErrValueTooLarge mirrors the backing cache's value bound at the fleet
 // client, so a fan-out write is rejected before any replica sees it.
+// In versioned mode the bound shrinks by kv.VersionPrefixLen — the
+// stamp travels inside the stored value.
 var ErrValueTooLarge = errors.New("fleet: value exceeds maximum size")
+
+// ErrPartialWrite reports a versioned write that some replicas applied
+// and others did not: the fleet is divergent on this key until repair
+// reconciles it, so the operation fails (the write may still become
+// visible — callers must treat it as indeterminate, not as a rollback).
+var ErrPartialWrite = errors.New("fleet: write applied on only part of the replica set")
 
 // Client is one application host's handle on the fleet. It implements
 // the kv.KV client interface on top of one HERD sub-client per shard:
@@ -51,6 +60,21 @@ type Client struct {
 	brkProbes    uint64
 	hotWidened   uint64
 
+	// Versioned-replication state: the write-stamp generator (verID
+	// breaks same-instant ties between clients, verSeq between this
+	// client's own writes) and the per-key floor of completed write
+	// stamps — a read round whose winner is below the floor is provably
+	// stale.
+	verID  uint64
+	verSeq uint64
+	floors map[kv.Key]kv.Version
+
+	partialWrites uint64
+	staleObserved uint64
+	staleReads    uint64
+	repairIssued  uint64
+	repairApplied uint64
+
 	telIssued     *telemetry.Counter
 	telCompleted  *telemetry.Counter
 	telFailed     *telemetry.Counter
@@ -66,6 +90,12 @@ type Client struct {
 	telBrkState   *telemetry.Gauge
 	telHotWidened *telemetry.Counter
 	telHotKeys    *telemetry.Gauge
+
+	telPartial       *telemetry.Counter
+	telStaleObserved *telemetry.Counter
+	telStaleReads    *telemetry.Counter
+	telRepairIssued  *telemetry.Counter
+	telRepairApplied *telemetry.Counter
 }
 
 // breakerState is the per-shard brownout circuit-breaker state.
@@ -123,6 +153,12 @@ func (d *Deployment) ConnectClient(m *cluster.Machine) (*Client, error) {
 	c.telBrkState = tel.Gauge("fleet.breaker_state")
 	c.telHotWidened = tel.Counter("fleet.hotkey.widened")
 	c.telHotKeys = tel.Gauge("fleet.hotkey.hot")
+	c.telPartial = tel.Counter("fleet.writes.partial")
+	c.telStaleObserved = tel.Counter("fleet.repair.stale")
+	c.telStaleReads = tel.Counter("fleet.reads.stale")
+	c.telRepairIssued = tel.Counter("fleet.repair.issued")
+	c.telRepairApplied = tel.Counter("fleet.repair.applied")
+	c.verID = uint64(len(d.clients))
 	if d.cfg.HotKeyTrack > 0 {
 		c.hot = newHotTracker(d.cfg.HotKeyTrack, d.cfg.HotKeyThreshold, d.cfg.HotKeyWindow)
 	}
@@ -196,6 +232,24 @@ func (c *Client) BreakerProbes() uint64 { return c.brkProbes }
 // HotWidened counts reads of a hot key that widening steered to a
 // non-primary start of the replica order.
 func (c *Client) HotWidened() uint64 { return c.hotWidened }
+
+// PartialWrites counts writes that some replicas applied and others
+// did not — in legacy mode a silent divergence (the op still reports
+// success), in versioned mode a failed op with ErrPartialWrite.
+func (c *Client) PartialWrites() uint64 { return c.partialWrites }
+
+// StaleObserved counts replicas a versioned read round caught behind
+// the winning version (each is a read-repair candidate).
+func (c *Client) StaleObserved() uint64 { return c.staleObserved }
+
+// StaleReads counts versioned reads whose winning version was below
+// this client's floor of completed writes — a provably stale result.
+func (c *Client) StaleReads() uint64 { return c.staleReads }
+
+// RepairsIssued and RepairsApplied count read-repair back-fills sent to
+// lagging replicas and those the replica acknowledged.
+func (c *Client) RepairsIssued() uint64  { return c.repairIssued }
+func (c *Client) RepairsApplied() uint64 { return c.repairApplied }
 
 // BreakerOpen reports whether shard id's breaker is currently steering
 // reads away (open or mid-probe).
@@ -299,12 +353,29 @@ func (c *Client) readOrder(reps []int) []int {
 			order = append(order, id)
 		}
 	}
+	// The back tier is NOT ring order: when every replica is suspect,
+	// ring order could try a shard that failed moments ago before one
+	// whose probation is about to lapse. Sort by probation expiry, then
+	// breaker cooldown, with the shard id as a deterministic tie-break
+	// so replays are stable when several replicas were suspected at the
+	// same instant.
+	tail := make([]int, 0, len(reps))
 	for _, id := range reps {
 		if !c.readPreferred(id, now) {
-			order = append(order, id)
+			tail = append(tail, id)
 		}
 	}
-	return order
+	sort.Slice(tail, func(i, j int) bool {
+		a, b := tail[i], tail[j]
+		if c.suspect[a] != c.suspect[b] {
+			return c.suspect[a] < c.suspect[b]
+		}
+		if c.brk[a].until != c.brk[b].until {
+			return c.brk[a].until < c.brk[b].until
+		}
+		return a < b
+	})
+	return append(order, tail...)
 }
 
 func (c *Client) start() {
@@ -328,7 +399,9 @@ func (c *Client) finish(cb func(kv.Result), res kv.Result, begun sim.Time) {
 	}
 }
 
-// Get reads key, primary-first with failover across the replica set.
+// Get reads key: primary-first with failover across the replica set in
+// legacy mode, read-all with version arbitration (and optional read
+// repair) in versioned mode.
 func (c *Client) Get(key kv.Key, cb func(kv.Result)) error {
 	if key.IsZero() {
 		return mica.ErrZeroKey
@@ -336,6 +409,9 @@ func (c *Client) Get(key kv.Key, cb func(kv.Result)) error {
 	reps := c.d.Replicas(key)
 	if len(reps) == 0 {
 		return ErrNoShards
+	}
+	if c.d.cfg.Versioned {
+		return c.getVersioned(key, reps, cb)
 	}
 	order := c.readOrder(reps)
 	if c.hot != nil {
@@ -405,18 +481,26 @@ func (c *Client) fanout(key kv.Key, value []byte, isDelete bool, cb func(kv.Resu
 	if key.IsZero() {
 		return mica.ErrZeroKey
 	}
-	if len(value) > mica.MaxValueSize {
+	limit := mica.MaxValueSize
+	if c.d.cfg.Versioned {
+		limit -= kv.VersionPrefixLen
+	}
+	if len(value) > limit {
 		return ErrValueTooLarge
 	}
 	reps := c.d.Replicas(key)
 	if len(reps) == 0 {
 		return ErrNoShards
 	}
+	if c.d.cfg.Versioned {
+		return c.fanoutVersioned(key, value, isDelete, reps, cb)
+	}
 	c.start()
 	c.fanoutPuts++
 	c.telFanout.Inc()
 	begun := c.now()
 	outstanding := len(reps)
+	failures := 0
 	var served *kv.Result
 	var lastErr kv.Result
 	resolve := func(id int, r kv.Result) {
@@ -435,10 +519,19 @@ func (c *Client) fanout(key kv.Key, value []byte, isDelete bool, cb func(kv.Resu
 			} else {
 				c.markSuspect(id)
 			}
+			failures++
 			lastErr = r
 		}
 		if outstanding == 0 {
 			if served != nil {
+				if failures > 0 {
+					// First-ack semantics swallow straggler failures:
+					// the op succeeds but the replica set is now
+					// divergent on this key. Count it — repair only
+					// exists in versioned mode.
+					c.partialWrites++
+					c.telPartial.Inc()
+				}
 				c.finish(cb, *served, begun)
 			} else {
 				lastErr.Err = ErrAllReplicasDown
@@ -456,6 +549,210 @@ func (c *Client) fanout(key kv.Key, value []byte, isDelete bool, cb func(kv.Resu
 		}
 		if err != nil {
 			resolve(id, kv.Result{Key: key, Status: kv.StatusTimeout, Err: err})
+		}
+	}
+	return nil
+}
+
+// fanoutVersioned is the versioned write path: the value is stamped
+// with a fresh (epoch, seq) version — a tombstone for deletes — and
+// sent to every replica as an ordinary PUT. The op succeeds only when
+// every replica acks; a mixed outcome is a partial write (divergence),
+// which fails the op with ErrPartialWrite and hands the key to the
+// anti-entropy queue when repair is enabled.
+func (c *Client) fanoutVersioned(key kv.Key, value []byte, isDelete bool, reps []int, cb func(kv.Result)) error {
+	c.verSeq++
+	stamp := kv.Version{Epoch: int64(c.now()), Seq: c.verSeq<<16 | c.verID&0xffff}
+	stored := kv.AppendVersion(make([]byte, 0, kv.VersionPrefixLen+len(value)), stamp, isDelete)
+	stored = append(stored, value...)
+	c.start()
+	c.fanoutPuts++
+	c.telFanout.Inc()
+	begun := c.now()
+	outstanding := len(reps)
+	failures := 0
+	var best *kv.Result
+	var lastErr kv.Result
+	resolve := func(id int, r kv.Result) {
+		outstanding--
+		if r.Err == nil {
+			c.noteServed(id)
+			// The server answers a tombstone PUT with delete semantics
+			// (Hit: killed a live entry); replicas can only disagree
+			// when already divergent, so prefer the Hit answer.
+			if best == nil || (r.Status == kv.StatusHit && best.Status != kv.StatusHit) {
+				cp := r
+				best = &cp
+			}
+		} else {
+			if r.Status == kv.StatusBusy {
+				c.noteBusy(id)
+			} else {
+				c.markSuspect(id)
+			}
+			failures++
+			lastErr = r
+		}
+		if outstanding != 0 {
+			return
+		}
+		switch {
+		case failures == 0:
+			res := *best
+			res.Key, res.IsGet, res.Value = key, false, nil
+			c.noteFloor(key, stamp)
+			c.finish(cb, res, begun)
+		case best != nil:
+			c.partialWrites++
+			c.telPartial.Inc()
+			if c.d.cfg.ReadRepair {
+				c.d.EnqueueRepair(key)
+			}
+			res := *best
+			res.Key, res.IsGet, res.Value = key, false, nil
+			res.Err = ErrPartialWrite
+			c.finish(cb, res, begun)
+		default:
+			lastErr.Err = ErrAllReplicasDown
+			c.finish(cb, lastErr, begun)
+		}
+	}
+	for _, id := range reps {
+		id := id
+		err := c.subs[id].Put(key, stored, func(r kv.Result) { resolve(id, r) })
+		if err != nil {
+			resolve(id, kv.Result{Key: key, Status: kv.StatusTimeout, Err: err})
+		}
+	}
+	return nil
+}
+
+// noteFloor raises this client's completed-write floor for key.
+func (c *Client) noteFloor(key kv.Key, v kv.Version) {
+	if c.floors == nil {
+		c.floors = make(map[kv.Key]kv.Version)
+	}
+	if f, ok := c.floors[key]; !ok || f.Less(v) {
+		c.floors[key] = v
+	}
+}
+
+// getVersioned is the versioned read path: fan the read to every
+// replica, arbitrate by version stamp, and answer with the winner's
+// payload (a tombstone or absent winner is a miss). Replicas caught
+// behind the winner are counted stale and — with ReadRepair — back-
+// filled inline with the winning bytes; the member server's ordered
+// apply makes a repair racing a fresher write harmless.
+func (c *Client) getVersioned(key kv.Key, reps []int, cb func(kv.Result)) error {
+	c.start()
+	begun := c.now()
+	type replicaState struct {
+		id      int
+		present bool
+		ver     kv.Version
+		tomb    bool
+		payload []byte
+		stored  []byte
+	}
+	outstanding := len(reps)
+	states := make([]replicaState, 0, len(reps))
+	var lastErr kv.Result
+	resolve := func(id int, r kv.Result) {
+		outstanding--
+		if r.Err != nil {
+			if r.Status == kv.StatusBusy {
+				c.noteBusy(id)
+			} else {
+				c.markSuspect(id)
+			}
+			lastErr = r
+		} else {
+			c.noteServed(id)
+			st := replicaState{id: id}
+			if r.Status == kv.StatusHit {
+				st.present = true
+				st.stored = r.Value
+				if v, tomb, payload, ok := kv.SplitVersion(r.Value); ok {
+					st.ver, st.tomb, st.payload = v, tomb, payload
+				} else {
+					// Unversioned legacy bytes rank at version zero.
+					st.payload = r.Value
+				}
+			}
+			states = append(states, st)
+		}
+		if outstanding != 0 {
+			return
+		}
+		if len(states) == 0 {
+			lastErr.Err = ErrAllReplicasDown
+			c.finish(cb, lastErr, begun)
+			return
+		}
+		win := -1
+		for i := range states {
+			if !states[i].present {
+				continue
+			}
+			if win < 0 || states[win].ver.Less(states[i].ver) {
+				win = i
+			}
+		}
+		res := kv.Result{Key: key, IsGet: true, Status: kv.StatusMiss}
+		if win >= 0 {
+			w := &states[win]
+			if !w.tomb {
+				res.Status = kv.StatusHit
+				res.Value = append([]byte(nil), w.payload...)
+			}
+			if f := c.floors[key]; w.ver.Less(f) {
+				// Every replica that answered is behind a write this
+				// client completed: the result is provably stale.
+				c.staleReads++
+				c.telStaleReads.Inc()
+				if c.d.cfg.ReadRepair {
+					c.d.EnqueueRepair(key)
+				}
+			}
+			for i := range states {
+				st := &states[i]
+				if i == win || (st.present && !st.ver.Less(w.ver)) {
+					continue
+				}
+				c.staleObserved++
+				c.telStaleObserved.Inc()
+				if !c.d.cfg.ReadRepair {
+					continue
+				}
+				c.repairIssued++
+				c.telRepairIssued.Inc()
+				fill := append([]byte(nil), w.stored...)
+				if err := c.subs[st.id].Put(key, fill, func(r kv.Result) {
+					if r.Err == nil {
+						c.repairApplied++
+						c.telRepairApplied.Inc()
+					}
+				}); err != nil {
+					// Validation failures just drop the repair; the
+					// anti-entropy sweep will retry the key.
+					c.d.EnqueueRepair(key)
+				}
+			}
+		} else if f := c.floors[key]; !f.IsZero() {
+			c.staleReads++
+			c.telStaleReads.Inc()
+			if c.d.cfg.ReadRepair {
+				c.d.EnqueueRepair(key)
+			}
+		}
+		c.finish(cb, res, begun)
+	}
+	for _, id := range reps {
+		id := id
+		c.noteReadIssue(id)
+		err := c.subs[id].Get(key, func(r kv.Result) { resolve(id, r) })
+		if err != nil {
+			resolve(id, kv.Result{Key: key, IsGet: true, Status: kv.StatusTimeout, Err: err})
 		}
 	}
 	return nil

@@ -68,6 +68,21 @@ type Config struct {
 	// (default 100us when tracking is on). Counts age out after at most
 	// two windows, so a key that cools stops widening.
 	HotKeyWindow sim.Time
+	// Versioned switches the fleet to version-stamped replication:
+	// every write carries a kv.Version prefix ([epoch 8][seq 8]
+	// [flags 1]) inside the stored value, member servers apply
+	// mutations in stamp order (core.Config.VersionedValues), deletes
+	// become tombstones, writes succeed only when EVERY replica acks
+	// (a straggler failure is a partial write, not a success), and
+	// reads fan to all replicas and return the highest-stamped state.
+	// Off by default — the paper's unversioned first-ack fan-out.
+	Versioned bool
+	// ReadRepair, with Versioned, back-fills divergent replicas: a
+	// read that observes a replica behind the winning version rewrites
+	// the winner to it, and partial writes enqueue their key for the
+	// background anti-entropy sweep (paced by MigrationBatch /
+	// MigrationInterval, like migration). Implies Versioned.
+	ReadRepair bool
 	// Mux, when non-nil, routes each fleet client's per-shard
 	// sub-clients through a shared endpoint (internal/mux) instead of
 	// dialing one connected QP set per client per shard. All fleet
@@ -128,6 +143,15 @@ func (c *Config) setDefaults() {
 		if c.HotKeyWindow <= 0 {
 			c.HotKeyWindow = 100 * sim.Microsecond
 		}
+	}
+	// Repair is meaningless without version stamps to order replica
+	// states, and stamps are only applied server-side when the member
+	// config says so.
+	if c.ReadRepair {
+		c.Versioned = true
+	}
+	if c.Versioned {
+		c.Herd.VersionedValues = true
 	}
 	// Brownout handling needs shed sub-operations to resolve: without a
 	// deadline a busy-retried op spins on server hints forever and the
@@ -198,6 +222,19 @@ type Deployment struct {
 	recActive  *telemetry.Gauge
 	recPending *telemetry.Gauge
 	recTime    *telemetry.Gauge
+
+	// Anti-entropy (antientropy.go): the repair work queue, its dedup
+	// set, and whether a sweep step is scheduled.
+	aeQueue   []kv.Key
+	aeQueued  map[kv.Key]bool
+	aeRunning bool
+	aeSweeps  *telemetry.Counter
+	aeKeys    *telemetry.Counter
+	aeFixed   *telemetry.Counter
+	aePending *telemetry.Gauge
+	// Raw mirrors of the sweep counters, for reports without a sink.
+	aeKeysN  uint64
+	aeFixedN uint64
 }
 
 // NewDeployment builds a fleet with one HERD server per machine. All
@@ -221,6 +258,11 @@ func NewDeployment(machines []*cluster.Machine, cfg Config) (*Deployment, error)
 	d.recActive = d.tel.Gauge("fleet.recovery.active")
 	d.recPending = d.tel.Gauge("fleet.recovery.pending")
 	d.recTime = d.tel.Gauge("fleet.recovery.time")
+	d.aeSweeps = d.tel.Counter("fleet.antientropy.sweeps")
+	d.aeKeys = d.tel.Counter("fleet.antientropy.keys")
+	d.aeFixed = d.tel.Counter("fleet.antientropy.repaired")
+	d.aePending = d.tel.Gauge("fleet.antientropy.pending")
+	d.aeQueued = make(map[kv.Key]bool)
 	d.ring = NewRing(core.PlacementSeed(machines[0]), cfg.VirtualNodes)
 	for _, m := range machines {
 		srv, err := core.NewServer(m, cfg.Herd)

@@ -211,6 +211,11 @@ func (d *Deployment) finishRecovery(rec *recovery, sh *shard, aborted bool) {
 		Duration:        rec.info.Duration + catchup,
 	}
 	d.recTime.Set(int64(d.lastRecovery.Duration / sim.Nanosecond))
+	// A versioned fleet re-audits everything once the shard is back:
+	// the delta catch-up replays the survivors' WAL tail, but a write
+	// the survivor itself missed (a partial write during the outage)
+	// is only reconciled by the anti-entropy sweep.
+	d.AntiEntropySweep()
 	if d.onRecovered != nil {
 		d.onRecovered(d.lastRecovery)
 	}

@@ -1,0 +1,182 @@
+package histcheck
+
+import (
+	"testing"
+
+	"herdkv/internal/kv"
+	"herdkv/internal/sim"
+)
+
+func us(n int64) sim.Time { return sim.Time(n) * sim.Microsecond }
+
+func mustCheck(t *testing.T, r *Recorder) Result {
+	t.Helper()
+	res, err := Check(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	k := kv.FromUint64(1)
+	r := &Recorder{}
+	w := r.BeginWrite(k, 7, us(0))
+	r.EndWrite(w, us(1))
+	g := r.BeginRead(k, us(2))
+	r.EndRead(g, 7, us(3))
+	d := r.BeginWrite(k, 0, us(4)) // delete
+	r.EndWrite(d, us(5))
+	g2 := r.BeginRead(k, us(6))
+	r.EndRead(g2, 0, us(7))
+
+	res := mustCheck(t, r)
+	if !res.Ok || res.Keys != 1 || res.Ops != 4 {
+		t.Fatalf("result %+v, want ok", res)
+	}
+}
+
+func TestStaleReadViolation(t *testing.T) {
+	k := kv.FromUint64(2)
+	r := &Recorder{}
+	w1 := r.BeginWrite(k, 1, us(0))
+	r.EndWrite(w1, us(1))
+	w2 := r.BeginWrite(k, 2, us(2))
+	r.EndWrite(w2, us(3))
+	// This read begins strictly after w2 completed, yet observes w1's
+	// value: the canonical stale read.
+	g := r.BeginRead(k, us(4))
+	r.EndRead(g, 1, us(5))
+
+	res := mustCheck(t, r)
+	if res.Ok || len(res.Violations) != 1 || res.Violations[0].Key != k {
+		t.Fatalf("result %+v, want one violation on key", res)
+	}
+}
+
+func TestConcurrentReadMayObserveEitherValue(t *testing.T) {
+	k := kv.FromUint64(3)
+	for _, observed := range []uint64{1, 2} {
+		r := &Recorder{}
+		w1 := r.BeginWrite(k, 1, us(0))
+		r.EndWrite(w1, us(1))
+		w2 := r.BeginWrite(k, 2, us(2))
+		r.EndWrite(w2, us(6))
+		// Concurrent with w2: either value is a legal observation.
+		g := r.BeginRead(k, us(3))
+		r.EndRead(g, observed, us(5))
+		if res := mustCheck(t, r); !res.Ok {
+			t.Fatalf("concurrent read of %d flagged: %+v", observed, res)
+		}
+	}
+}
+
+func TestFailedWriteIsOptional(t *testing.T) {
+	k := kv.FromUint64(4)
+
+	// Effect surfaced: a later read sees the failed write's value.
+	r := &Recorder{}
+	w := r.BeginWrite(k, 9, us(0))
+	r.Fail(w)
+	g := r.BeginRead(k, us(5))
+	r.EndRead(g, 9, us(6))
+	if res := mustCheck(t, r); !res.Ok {
+		t.Fatalf("failed write's surfaced effect flagged: %+v", res)
+	}
+
+	// Effect never surfaced: reads keep seeing the old state.
+	r = &Recorder{}
+	w0 := r.BeginWrite(k, 1, us(0))
+	r.EndWrite(w0, us(1))
+	w = r.BeginWrite(k, 9, us(2))
+	r.Fail(w)
+	g = r.BeginRead(k, us(5))
+	r.EndRead(g, 1, us(6))
+	if res := mustCheck(t, r); !res.Ok {
+		t.Fatalf("dropped failed write flagged: %+v", res)
+	}
+}
+
+func TestFailedWriteCannotBePartiallyObserved(t *testing.T) {
+	// Two sequential reads observing new-then-old is illegal even when
+	// the intervening write failed: once its effect is visible the
+	// register cannot revert.
+	k := kv.FromUint64(5)
+	r := &Recorder{}
+	w0 := r.BeginWrite(k, 1, us(0))
+	r.EndWrite(w0, us(1))
+	w := r.BeginWrite(k, 9, us(2))
+	r.Fail(w)
+	g1 := r.BeginRead(k, us(5))
+	r.EndRead(g1, 9, us(6))
+	g2 := r.BeginRead(k, us(7))
+	r.EndRead(g2, 1, us(8))
+	if res := mustCheck(t, r); res.Ok {
+		t.Fatal("new-then-old observation of a failed write not flagged")
+	}
+}
+
+func TestFailedReadDropped(t *testing.T) {
+	k := kv.FromUint64(6)
+	r := &Recorder{}
+	w := r.BeginWrite(k, 3, us(0))
+	r.EndWrite(w, us(1))
+	g := r.BeginRead(k, us(2))
+	r.Fail(g)
+	res := mustCheck(t, r)
+	if !res.Ok || res.Ops != 1 {
+		t.Fatalf("result %+v, want failed read dropped (1 op)", res)
+	}
+}
+
+func TestPerKeyPartitioning(t *testing.T) {
+	// A violation on one key must not contaminate another key's verdict.
+	good, bad := kv.FromUint64(7), kv.FromUint64(8)
+	r := &Recorder{}
+	w := r.BeginWrite(good, 1, us(0))
+	r.EndWrite(w, us(1))
+	g := r.BeginRead(good, us(2))
+	r.EndRead(g, 1, us(3))
+
+	w1 := r.BeginWrite(bad, 1, us(0))
+	r.EndWrite(w1, us(1))
+	w2 := r.BeginWrite(bad, 2, us(2))
+	r.EndWrite(w2, us(3))
+	gb := r.BeginRead(bad, us(4))
+	r.EndRead(gb, 1, us(5))
+
+	res := mustCheck(t, r)
+	if res.Ok || res.Keys != 2 || len(res.Violations) != 1 || res.Violations[0].Key != bad {
+		t.Fatalf("result %+v, want exactly the bad key flagged", res)
+	}
+}
+
+func TestOpsCapEnforced(t *testing.T) {
+	k := kv.FromUint64(9)
+	r := &Recorder{}
+	for i := 0; i < MaxOpsPerKey+1; i++ {
+		w := r.BeginWrite(k, uint64(i+1), us(int64(2*i)))
+		r.EndWrite(w, us(int64(2*i+1)))
+	}
+	if _, err := Check(r, nil); err == nil {
+		t.Fatal("oversized sub-history accepted")
+	}
+}
+
+func TestConcurrentWritesEitherOrder(t *testing.T) {
+	// Two overlapping writes, then a read that must match whichever
+	// order the search picks — both final values are legal.
+	k := kv.FromUint64(10)
+	for _, final := range []uint64{1, 2} {
+		r := &Recorder{}
+		w1 := r.BeginWrite(k, 1, us(0))
+		r.EndWrite(w1, us(5))
+		w2 := r.BeginWrite(k, 2, us(1))
+		r.EndWrite(w2, us(4))
+		g := r.BeginRead(k, us(6))
+		r.EndRead(g, final, us(7))
+		if res := mustCheck(t, r); !res.Ok {
+			t.Fatalf("final value %d flagged after concurrent writes: %+v", final, res)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package histcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"herdkv/internal/kv"
+	"herdkv/internal/telemetry"
+)
+
+// MaxOpsPerKey bounds one key's sub-history: the search state packs
+// completed operations into a single uint64 bitmask.
+const MaxOpsPerKey = 64
+
+// Violation is one key whose sub-history admits no linearization.
+type Violation struct {
+	Key kv.Key
+	Ops []Op // the key's sub-history in invocation order
+}
+
+// Result is the outcome of a history check.
+type Result struct {
+	Ok         bool
+	Keys       int // distinct keys checked
+	Ops        int // operations considered (after dropping failed reads)
+	Violations []Violation
+}
+
+// Check partitions the recorder's history by key and searches each
+// sub-history for a legal linearization. Optional counters land on tel
+// (histcheck.keys, histcheck.violations) when non-nil. It returns an
+// error only when a sub-history exceeds MaxOpsPerKey — that is a
+// harness sizing bug, not a consistency verdict.
+func Check(r *Recorder, tel *telemetry.Sink) (Result, error) {
+	var telKeys, telViol *telemetry.Counter
+	if tel != nil {
+		telKeys = tel.Counter("histcheck.keys")
+		telViol = tel.Counter("histcheck.violations")
+	}
+	byKey := make(map[kv.Key][]Op)
+	var keys []kv.Key
+	res := Result{Ok: true}
+	for _, op := range r.Ops() {
+		if op.Kind == Read && op.Failed {
+			continue // a failed read observed nothing
+		}
+		if _, seen := byKey[op.Key]; !seen {
+			keys = append(keys, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+		res.Ops++
+	}
+	res.Keys = len(keys)
+	for _, k := range keys {
+		ops := byKey[k]
+		if len(ops) > MaxOpsPerKey {
+			return Result{}, fmt.Errorf("histcheck: key %x has %d ops, cap is %d", k, len(ops), MaxOpsPerKey)
+		}
+		telKeys.Inc()
+		if !linearizable(ops) {
+			res.Ok = false
+			res.Violations = append(res.Violations, Violation{Key: k, Ops: ops})
+			telViol.Inc()
+		}
+	}
+	return res, nil
+}
+
+// memoKey is one visited search state: which ops are already
+// linearized, and the register value they left behind.
+type memoKey struct {
+	mask  uint64
+	state uint64
+}
+
+// linearizable runs the WGL search on one key's sub-history: from each
+// state, any operation that no completed-and-undone operation strictly
+// precedes in real time may be linearized next. A write advances the
+// register; a failed write may instead be dropped (it never took
+// effect); a read must observe the current register. States are
+// memoized — revisiting (mask, state) cannot succeed where the first
+// visit failed.
+func linearizable(ops []Op) bool {
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].Invoke != ops[j].Invoke {
+			return ops[i].Invoke < ops[j].Invoke
+		}
+		return ops[i].Return < ops[j].Return
+	})
+	n := len(ops)
+	full := uint64(1)<<uint(n) - 1
+	if n == 64 {
+		full = ^uint64(0)
+	}
+	seen := make(map[memoKey]bool)
+	var dfs func(mask, state uint64) bool
+	dfs = func(mask, state uint64) bool {
+		if mask == full {
+			return true
+		}
+		mk := memoKey{mask, state}
+		if seen[mk] {
+			return false
+		}
+		seen[mk] = true
+		// An undone op is minimal iff no other undone op returned
+		// before it was invoked.
+		minRet := pendingReturn
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 && ops[i].Return < minRet {
+				minRet = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 || ops[i].Invoke > minRet {
+				continue
+			}
+			op := &ops[i]
+			if op.Kind == Write {
+				if dfs(mask|bit, op.Value) {
+					return true
+				}
+				if op.Failed && dfs(mask|bit, state) {
+					return true // the failed write never took effect
+				}
+				continue
+			}
+			if op.Value == state && dfs(mask|bit, state) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0, 0)
+}

@@ -6,6 +6,7 @@ import (
 	"herdkv/internal/cluster"
 	"herdkv/internal/core"
 	"herdkv/internal/farm"
+	"herdkv/internal/fault"
 	"herdkv/internal/fleet"
 	"herdkv/internal/mica"
 	"herdkv/internal/nearcache"
@@ -112,6 +113,41 @@ func TestNearCacheFleetConformance(t *testing.T) {
 		}
 		nc := nearcache.New(c, cl.Eng, nil, nearcache.DefaultConfig())
 		return Harness{KV: nc, Run: cl.Eng.Run}
+	})
+}
+
+// TestFleetNemesisConformance runs the full suite against the
+// versioned, read-repairing fleet client while a generated nemesis
+// schedule crashes a shard and severs links mid-run. Individual ops may
+// fail under fire (AllowFailures), but no kv.KV invariant — callback
+// discipline, counter bookkeeping, result shape — may break.
+func TestFleetNemesisConformance(t *testing.T) {
+	sched, err := fault.ParseSchedule(
+		"nemesis seed=29 until=400us nodes=2 peers=3 crashes=1 blackouts=2 partitions=1 mindown=50us maxdown=100us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(t, func(t *testing.T) Harness {
+		spec := cluster.Apt()
+		spec.Faults = sched
+		cl := cluster.New(spec, 3, 1)
+		cfg := fleet.DefaultConfig()
+		cfg.Herd = herdConfig()
+		cfg.Herd.RetryTimeout = 12 * sim.Microsecond
+		cfg.Versioned = true
+		cfg.ReadRepair = true
+		d, err := fleet.NewDeployment(
+			[]*cluster.Machine{cl.Machine(0), cl.Machine(1)}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := d.ConnectClient(cl.Machine(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.RegisterCrashTargets(cl.Faults())
+		cl.Faults().Arm()
+		return Harness{KV: c, Run: cl.Eng.Run, AllowFailures: true}
 	})
 }
 

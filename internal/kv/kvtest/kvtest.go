@@ -25,6 +25,32 @@ type Harness struct {
 	// (FaRM-em's inline mode stores fixed-size values). Zero means any
 	// small value is accepted.
 	ValueSize int
+	// AllowFailures relaxes the clean-network assumption for backends
+	// run under fault injection (a nemesis schedule): operations may
+	// resolve with Err set, and a subtest whose ops failed skips its
+	// value/status assertions — it can no longer conclude anything
+	// about them. Every structural invariant still holds: callbacks
+	// run exactly once, the engine drains to Inflight()==0, and
+	// Issued/Completed/Failed stay balanced.
+	AllowFailures bool
+}
+
+// anyFailed reports whether failure tolerance is on and one of the
+// resolved results carries an error (nil entries mean the callback
+// never ran — that is always a failure of the suite itself, never
+// tolerated here).
+func (h Harness) anyFailed(t *testing.T, rs ...*kv.Result) bool {
+	t.Helper()
+	if !h.AllowFailures {
+		return false
+	}
+	for _, r := range rs {
+		if r != nil && r.Err != nil {
+			t.Logf("op failed under fault injection (tolerated): %+v", *r)
+			return true
+		}
+	}
+	return false
 }
 
 // value builds a legal PUT value with recognizable content.
@@ -71,12 +97,14 @@ func batchGet(t *testing.T, h Harness) {
 	v1, v2 := h.value('1'), h.value('2')
 
 	stored := 0
-	h.KV.Put(k1, v1, func(kv.Result) { stored++ })
-	h.KV.Put(k2, v2, func(kv.Result) { stored++ })
+	var seed1, seed2 kv.Result
+	h.KV.Put(k1, v1, func(r kv.Result) { seed1 = r; stored++ })
+	h.KV.Put(k2, v2, func(r kv.Result) { seed2 = r; stored++ })
 	h.Run()
 	if stored != 2 {
 		t.Fatalf("seeded %d of 2 keys", stored)
 	}
+	seedsOK := !h.anyFailed(t, &seed1, &seed2)
 
 	keys := []kv.Key{k1, missing, k2, k1} // duplicate on purpose
 	calls := 0
@@ -103,6 +131,9 @@ func batchGet(t *testing.T, h Harness) {
 		}
 		if !r.IsGet {
 			t.Errorf("result %d not marked IsGet", i)
+		}
+		if h.anyFailed(t, &r) || !seedsOK {
+			continue // structural checks above still ran
 		}
 		if r.Status != w.status || !bytes.Equal(r.Value, w.value) {
 			t.Errorf("result %d = %v (%d B), want %v", i, r.Status, len(r.Value), w.status)
@@ -136,6 +167,9 @@ func putGetRoundTrip(t *testing.T, h Harness) {
 	if putRes == nil || getRes == nil {
 		t.Fatal("callbacks did not run")
 	}
+	if h.anyFailed(t, putRes, getRes) {
+		return
+	}
 	if putRes.Status != kv.StatusHit || putRes.Err != nil {
 		t.Fatalf("PUT result %+v, want hit", *putRes)
 	}
@@ -159,6 +193,9 @@ func getMiss(t *testing.T, h Harness) {
 	if res == nil {
 		t.Fatal("callback did not run")
 	}
+	if h.anyFailed(t, res) {
+		return
+	}
 	if res.Status != kv.StatusMiss || res.Err != nil {
 		t.Fatalf("miss result %+v, want StatusMiss with nil Err", *res)
 	}
@@ -169,8 +206,10 @@ func getMiss(t *testing.T, h Harness) {
 
 func deleteSemantics(t *testing.T, h Harness) {
 	key := kv.FromUint64(9)
+	var seed kv.Result
 	var del1, get1, del2 *kv.Result
-	err := h.KV.Put(key, h.value('d'), func(kv.Result) {
+	err := h.KV.Put(key, h.value('d'), func(r kv.Result) {
+		seed = r
 		h.KV.Delete(key, func(r kv.Result) {
 			del1 = &r
 			h.KV.Get(key, func(r kv.Result) {
@@ -186,6 +225,15 @@ func deleteSemantics(t *testing.T, h Harness) {
 
 	if del1 == nil || get1 == nil || del2 == nil {
 		t.Fatal("callbacks did not all run")
+	}
+	// A failed op anywhere in the chain (including the seeding PUT)
+	// leaves the key's state indeterminate; the semantic ladder below
+	// only holds on a clean run.
+	if h.anyFailed(t, &seed, del1, get1, del2) {
+		return
+	}
+	if seed.Err != nil || seed.Status != kv.StatusHit {
+		t.Fatalf("seeding PUT = %+v, want hit", seed)
 	}
 	if del1.Status != kv.StatusHit {
 		t.Fatalf("DELETE of present key = %v, want hit", del1.Status)
@@ -277,7 +325,7 @@ func counterInvariants(t *testing.T, h Harness) {
 	if issued < uint64(n) {
 		t.Fatalf("Issued = %d, want >= %d", issued, n)
 	}
-	if failed != 0 {
+	if failed != 0 && !h.AllowFailures {
 		t.Fatalf("Failed = %d on a clean network, want 0", failed)
 	}
 }

@@ -66,7 +66,7 @@ var deterministicPkgs = map[string]bool{
 	"workload": true, "stats": true, "hostmem": true, "kv": true,
 	"mica": true, "cuckoo": true, "hopscotch": true, "farm": true,
 	"pilaf": true, "telemetry": true, "fleet": true, "mux": true,
-	"wal": true, "nearcache": true,
+	"wal": true, "nearcache": true, "histcheck": true,
 }
 
 // Deterministic reports whether the package at path is held to the
